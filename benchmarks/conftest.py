@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` module regenerates one paper artifact (figure, worked
+example, or claim set).  Experiment benchmarks execute the full scenario
+once per benchmark (``pedantic`` with one round -- the measurement of
+interest is the simulated result, not the host's timing jitter), print the
+paper-style rows, and assert the paper's qualitative shape so a regression
+in the reproduction fails the build.  Micro-benchmarks
+(``test_bench_engine.py``) use normal pytest-benchmark statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,16 @@
+"""Section 6 claims benchmark: every textual claim checked end to end.
+
+This is the reproduction's acceptance gate: C1-C5 from
+:mod:`repro.experiments.claims` must all hold on the quick preset.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.claims import format_claims, run_claims
+
+
+def test_section6_claims(benchmark):
+    result = run_once(benchmark, lambda: run_claims(preset="quick"))
+    print()
+    print(format_claims(result))
+    failed = [c.claim_id for c in result.claims if not c.holds]
+    assert not failed, f"claims failed: {failed}"

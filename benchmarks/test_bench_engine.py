@@ -1,0 +1,119 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are classic pytest-benchmark measurements (many rounds): event
+throughput of the engine, kernel dispatch cost, spinlock handoff, and a
+full small scenario.  They bound how expensive the paper-scale experiments
+are to regenerate.
+"""
+
+from repro.apps import UniformApp
+from repro.kernel import Kernel, syscalls as sc
+from repro.machine import Machine, MachineConfig
+from repro.sim import Engine, units
+from repro.sync import SpinLock
+from repro.threads import ThreadsPackage
+from repro.workloads import AppSpec, Scenario, run_scenario
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire cost of 10k calendar events."""
+
+    def run():
+        engine = Engine()
+        for i in range(10_000):
+            engine.schedule(i, lambda: None)
+        engine.run()
+        return engine.events_fired
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def test_kernel_roundrobin_throughput(benchmark):
+    """1000 quanta of round-robin between 8 CPU-bound processes."""
+
+    def run():
+        machine = Machine(
+            MachineConfig(
+                n_processors=2,
+                quantum=units.ms(1),
+                cache_affinity_enabled=False,
+            )
+        )
+        kernel = Kernel(machine=machine)
+
+        def hog():
+            yield sc.Compute(units.ms(250))
+
+        for i in range(8):
+            kernel.spawn(hog(), name=f"p{i}")
+        kernel.run_until_quiescent()
+        return kernel.now
+
+    benchmark(run)
+
+
+def test_spinlock_handoff_throughput(benchmark):
+    """Contended spinlock ping-pong between two processes."""
+
+    def run():
+        kernel = Kernel(
+            machine=Machine(
+                MachineConfig(n_processors=2, cache_affinity_enabled=False)
+            )
+        )
+        lock = SpinLock("bench")
+
+        def pinger():
+            for _ in range(500):
+                yield sc.SpinAcquire(lock)
+                yield sc.Compute(5)
+                yield sc.SpinRelease(lock)
+
+        kernel.spawn(pinger(), name="a")
+        kernel.spawn(pinger(), name="b")
+        kernel.run_until_quiescent()
+        return lock.acquisitions
+
+    acquisitions = benchmark(run)
+    assert acquisitions == 1000
+
+
+def test_threads_package_task_throughput(benchmark):
+    """End-to-end task dispatch rate of the threads package."""
+
+    def run():
+        kernel = Kernel(
+            machine=Machine(
+                MachineConfig(n_processors=4, cache_affinity_enabled=False)
+            )
+        )
+        app = UniformApp(n_tasks=500, task_cost=units.us(500))
+        package = ThreadsPackage(kernel, app, 4)
+        package.start()
+        kernel.run_until_quiescent()
+        return package.tasks_completed
+
+    completed = benchmark(run)
+    assert completed == 500
+
+
+def test_small_controlled_scenario(benchmark):
+    """A complete controlled two-application scenario, end to end."""
+
+    def run():
+        return run_scenario(
+            Scenario(
+                apps=[
+                    AppSpec(lambda: UniformApp("a", n_tasks=60), 8),
+                    AppSpec(lambda: UniformApp("b", n_tasks=60), 8),
+                ],
+                control="centralized",
+                machine=MachineConfig(n_processors=4, quantum=units.ms(20)),
+                poll_interval=units.ms(200),
+                server_interval=units.ms(200),
+            )
+        )
+
+    result = benchmark(run)
+    assert all(r.tasks_completed == 60 for r in result.apps.values())

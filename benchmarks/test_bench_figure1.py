@@ -1,0 +1,31 @@
+"""Figure 1 benchmark: matmul + fft co-run speedups vs processes/app.
+
+Shape asserted: both speedups peak when the two applications together just
+fill the machine (8 processes each on 16 processors) and decline once the
+total exceeds the processor count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure1 import format_figure1, run_figure1
+
+
+def test_figure1(benchmark):
+    result = run_once(
+        benchmark, lambda: run_figure1(preset="quick", counts=(1, 4, 8, 16, 24))
+    )
+    print()
+    print(format_figure1(result))
+
+    by_count = {r.n_processes: r for r in result.rows}
+    # Peak at the machine-filling point (8 + 8 = 16 processors).
+    assert result.peak_processes == 8
+    # Beyond the peak, both applications lose ground.
+    for app in ("speedup_matmul", "speedup_fft"):
+        peak = getattr(by_count[8], app)
+        beyond = getattr(by_count[24], app)
+        assert beyond < peak * 0.85, (
+            f"{app}: expected a clear decline beyond 16 total processes "
+            f"(peak {peak:.1f}, at 24 {beyond:.1f})"
+        )
+    # The decline is monotone-ish: 24 is no better than 16.
+    assert by_count[24].speedup_fft <= by_count[16].speedup_fft * 1.05

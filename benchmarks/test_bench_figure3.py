@@ -1,0 +1,52 @@
+"""Figure 3 benchmark: per-application speedup, control off vs on.
+
+Shapes asserted (the paper's three observations in Section 6):
+
+1. speedup rises up to 16 processes;
+2. off and on coincide at <= 16 processes (negligible overhead);
+3. beyond 16, off collapses while on stays near its peak.
+
+One benchmark per application so regressions localize.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure3 import (
+    Figure3Result,
+    format_figure3,
+    run_figure3_app,
+)
+
+COUNTS = (1, 8, 16, 24)
+
+
+@pytest.mark.parametrize("app", ["fft", "sort", "gauss", "matmul"])
+def test_figure3_app(benchmark, app):
+    curve = run_once(
+        benchmark,
+        lambda: run_figure3_app(app, preset="quick", counts=COUNTS),
+    )
+    print()
+    print(format_figure3(Figure3Result(curves={app: curve}, preset="quick")))
+
+    # Observation 1: rising to the processor count.
+    assert curve.at(8, controlled=False) > curve.at(1, controlled=False)
+    assert curve.at(16, controlled=False) > curve.at(8, controlled=False)
+
+    # Observation 2: off == on at or below 16 processes (within 5%).
+    for n in (1, 8, 16):
+        off = curve.at(n, controlled=False)
+        on = curve.at(n, controlled=True)
+        assert abs(on - off) / off < 0.05, (
+            f"{app}@{n}: control overhead visible ({off:.2f} vs {on:.2f})"
+        )
+
+    # Observation 3: at 24 processes the unmodified package is clearly
+    # worse, and control holds near the 16-process peak.
+    off24 = curve.at(24, controlled=False)
+    on24 = curve.at(24, controlled=True)
+    peak = curve.at(16, controlled=False)
+    assert off24 < peak * 0.85, f"{app}: off kept speedup {off24:.2f} of {peak:.2f}"
+    assert on24 > off24 * 1.15, f"{app}: control did not help ({on24:.2f} vs {off24:.2f})"
+    assert on24 > peak * 0.75, f"{app}: control lost the peak ({on24:.2f} vs {peak:.2f})"

@@ -1,0 +1,35 @@
+"""Figure 4 benchmark: three staggered applications, wall clock off vs on.
+
+Shape asserted: every application completes faster under process control,
+the barrier-dense gauss gains substantially, and the phase-free matmul has
+the smallest uncontrolled wall time of the trio (the paper's decay-
+scheduler observation).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure4 import FIGURE4_ORDER, format_figure4, run_figure4
+
+
+def test_figure4(benchmark):
+    result = run_once(benchmark, lambda: run_figure4(preset="quick"))
+    print()
+    print(format_figure4(result))
+
+    for app in FIGURE4_ORDER:
+        assert result.ratio(app) > 1.1, (
+            f"{app}: process control should clearly win "
+            f"(ratio {result.ratio(app):.2f})"
+        )
+    # gauss (dense serial/parallel alternation) gains at least as much as
+    # fft, mirroring '66 seconds instead of 28'.
+    assert result.ratio("gauss") >= result.ratio("fft") * 0.95
+    # matmul, arriving last with fresh processes favoured by the decay
+    # scheduler, has the smallest absolute uncontrolled wall time.
+    walls = result.wall_times(controlled=False)
+    assert walls["matmul"] == min(walls.values())
+    # Machine-level: control cuts total preemptions and spin waste.
+    assert (
+        result.controlled.total_preemptions
+        < result.uncontrolled.total_preemptions
+    )
+    assert result.controlled.total_spin_time < result.uncontrolled.total_spin_time

@@ -1,0 +1,37 @@
+"""Section 2 mechanisms benchmark: each degradation source isolated.
+
+Shapes asserted: every mechanism's waste is near zero when runnable
+processes fit the processors, and grows once they exceed them.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.mechanisms import format_mechanisms, run_all_mechanisms
+
+
+def test_mechanisms(benchmark):
+    tables = run_once(benchmark, lambda: run_all_mechanisms(n_processors=8))
+    print()
+    print(format_mechanisms(tables))
+
+    m1 = tables["m1_spinlock_preemption"]
+    assert m1[0]["spin_waste_pct"] < 5.0, "no waste when fitting the machine"
+    assert m1[-1]["spin_waste_pct"] > 50.0, "spin waste explodes at 3x"
+    assert m1[0]["holder_preempted"] == 0
+    assert m1[-1]["holder_preempted"] > 0
+
+    m2 = tables["m2_producer_consumer"]
+    assert m2[-1]["consumer_stall_pct"] > m2[0]["consumer_stall_pct"] * 1.5
+    assert m2[-1]["makespan_s"] > m2[0]["makespan_s"]
+
+    m2b = tables["m2b_barrier_styles"]
+    assert m2b[0]["spin_penalty"] < 1.2, "spin barriers are free when fitting"
+    assert m2b[-1]["spin_penalty"] > 1.8, "spin barriers collapse at 3x"
+
+    m3 = tables["m3_context_switching"]
+    assert m3[0]["overhead_pct"] < 0.1, "no switching when fitting the machine"
+    assert m3[-1]["overhead_pct"] > m3[0]["overhead_pct"]
+
+    m4 = tables["m4_cache_corruption"]
+    assert m4[0]["overhead_pct"] < 5.0
+    assert m4[-1]["overhead_pct"] > 20.0, "cache reloads dominate at 3x"
+    assert m4[-1]["slowdown"] > 1.4

@@ -1,0 +1,29 @@
+"""Figure 2 benchmark: the server's partitioning decision.
+
+Covers the paper's worked example (8 processors, 2 uncontrollable
+processes, three applications -> 2/2/2) as a live scenario, plus a
+micro-benchmark of the decision function itself -- the server runs it every
+update interval, so it must be cheap relative to the 6-second period.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.policy import partition_processors
+from repro.experiments.figure2 import format_figure2, run_figure2
+
+
+def test_figure2_worked_example(benchmark):
+    result = run_once(benchmark, run_figure2)
+    print()
+    print(format_figure2(result))
+    assert result.targets == {"app1": 2, "app2": 2, "app3": 2}
+    assert result.suspensions["app2"] >= 1
+    assert result.suspensions["app3"] >= 1
+    assert result.suspensions["app1"] == 0
+
+
+def test_partition_decision_latency(benchmark):
+    """The decision over a busy machine: 64 CPUs, 20 applications."""
+    app_totals = {f"app{i}": 4 + (i * 7) % 30 for i in range(20)}
+    targets = benchmark(partition_processors, 64, 10, app_totals)
+    assert sum(targets.values()) <= 64
+    assert all(t >= 1 for t in targets.values())

@@ -1,0 +1,25 @@
+"""Steady-state multiprogramming benchmark (the paper's Section 1
+environment, run as a continuous random-arrival workload).
+
+Shape asserted: with process control, both the mean and the worst
+per-application slowdown improve, and the makespan shrinks.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.steady_state import format_steady_state, run_steady_state
+
+
+def test_steady_state(benchmark):
+    result = run_once(benchmark, lambda: run_steady_state(preset="quick", seed=0))
+    print()
+    print(format_steady_state(result))
+    assert result.mean_slowdown_on < result.mean_slowdown_off * 0.9
+    assert result.worst_slowdown_on < result.worst_slowdown_off
+    assert result.makespan_gain > 1.1
+    # Every application in the mix improved or stayed put.
+    improved = sum(
+        1
+        for row in result.per_app
+        if row["slowdown_on"] <= row["slowdown_off"] * 1.05
+    )
+    assert improved >= result.n_apps - 1

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Every scheduler the paper discusses, head to head.
+
+Section 3 reviews coscheduling (Ousterhout), spinlock no-preempt flags
+(Zahorjan et al.), process groups (Edler et al.), and cache-affinity
+scheduling (Lazowska & Squillante); Section 7 sketches space partitioning.
+This example runs the same multiprogrammed workload under each kernel
+policy, with and without the paper's user-level process control, and
+prints the makespans -- showing that process control composes with (and
+usually beats) each kernel-side alternative.
+
+Run:  python examples/scheduler_shootout.py
+"""
+
+from repro.experiments.ablations import run_scheduler_comparison
+from repro.metrics import format_table
+
+
+def main():
+    rows = run_scheduler_comparison(preset="quick")
+    table_rows = [
+        (
+            row["scheduler"],
+            row["control"],
+            f"{row['makespan_s']:.1f}",
+            f"{row['spin_s']:.1f}",
+            row["cs_preemptions"],
+        )
+        for row in rows
+    ]
+    print("Figure-4-style workload (fft + gauss + matmul, 16 procs each):\n")
+    print(
+        format_table(
+            ["scheduler", "control", "makespan (s)", "spin waste (s)",
+             "cs-preemptions"],
+            table_rows,
+        )
+    )
+    best = min(rows, key=lambda r: r["makespan_s"])
+    print(
+        f"\nbest combination: {best['scheduler']} + control "
+        f"{best['control']} ({best['makespan_s']:.1f}s)"
+    )
+    print(
+        "\nNotes: coscheduling fixes spin waste but thrashes caches every "
+        "epoch (the paper's\nSection 3 criticism).  Process control improves "
+        "every time-sharing scheduler here;\nthe one exception is space "
+        "partitioning, where kernel-side partitions and user-side\nprocess "
+        "targets fight over the same decision -- the paper's Section 7 "
+        "design gives\npartitioning the uncontrolled applications and "
+        "process control the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

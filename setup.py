@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools without wheel support, so
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path,
+which needs this file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""repro -- a reproduction of Tucker & Gupta, "Process Control and
+Scheduling Issues for Multiprogrammed Shared-Memory Multiprocessors"
+(SOSP 1989).
+
+The package layers, bottom to top:
+
+- :mod:`repro.sim` -- deterministic discrete-event engine.
+- :mod:`repro.machine` -- the simulated multiprocessor (the Encore
+  Multimax stand-in): processors, caches, costs.
+- :mod:`repro.kernel` -- a UMAX-like kernel: processes, syscalls, signals,
+  IPC, pluggable schedulers (FIFO, priority decay, coscheduling,
+  no-preempt flags, process groups, affinity, space partitioning).
+- :mod:`repro.sync` -- spinlocks and blocking primitives.
+- :mod:`repro.threads` -- the task-queue threads package with transparent
+  process control (the paper's modified Brown threads package).
+- :mod:`repro.core` -- the centralized process-control server and its
+  partitioning policy (the paper's contribution).
+- :mod:`repro.apps` -- fft, sort, gauss, matmul, and synthetic workloads.
+- :mod:`repro.workloads` -- scenario descriptions and the runner.
+- :mod:`repro.experiments` -- one module per paper figure, plus ablations.
+- :mod:`repro.realsys` -- the same control scheme on real OS processes
+  (``multiprocessing``), as a live demonstrator.
+
+Quick start::
+
+    from repro import quick_compare
+    result = quick_compare()          # two apps, control off vs on
+"""
+
+from repro.core import ProcessControlServer, partition_processors
+from repro.workloads import (
+    AppSpec,
+    Scenario,
+    ScenarioResult,
+    UncontrolledSpec,
+    run_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProcessControlServer",
+    "partition_processors",
+    "AppSpec",
+    "UncontrolledSpec",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "quick_compare",
+    "__version__",
+]
+
+
+def quick_compare(scale: float = 0.2, n_processes: int = 24, seed: int = 0):
+    """Run two applications together, without and with process control.
+
+    A convenience smoke entry point: returns a dict with both
+    :class:`~repro.workloads.runner.ScenarioResult` objects under keys
+    ``"uncontrolled"`` and ``"controlled"``.
+    """
+    from repro.apps import FFT, MatMul
+    from repro.sim import units
+
+    # Shrunken applications need a proportionally faster poll, or the runs
+    # finish before the 6-second control loop ever engages.
+    interval = units.seconds(6) if scale >= 1.0 else units.seconds(2)
+
+    def scenario(control):
+        return Scenario(
+            apps=[
+                AppSpec(lambda: MatMul(scale=scale, seed=seed), n_processes),
+                AppSpec(lambda: FFT(scale=scale, seed=seed), n_processes),
+            ],
+            control=control,
+            poll_interval=interval,
+            server_interval=interval,
+            seed=seed,
+        )
+
+    return {
+        "uncontrolled": run_scenario(scenario(None)),
+        "controlled": run_scenario(scenario("centralized")),
+    }

@@ -1,0 +1,21 @@
+"""Post-run analysis of scenario results.
+
+Turns a :class:`~repro.workloads.runner.ScenarioResult` into the derived
+quantities the paper argues from: where the machine's cycles actually went
+(:func:`waste_breakdown`), how they were divided between applications
+(:func:`cpu_shares`, :func:`jain_fairness`), and what the preemption /
+lock-contention pressure looked like (:func:`pressure_summary`).
+"""
+
+from repro.analysis.waste import waste_breakdown, WasteBreakdown
+from repro.analysis.shares import cpu_shares, jain_fairness
+from repro.analysis.pressure import pressure_summary, PressureSummary
+
+__all__ = [
+    "waste_breakdown",
+    "WasteBreakdown",
+    "cpu_shares",
+    "jain_fairness",
+    "pressure_summary",
+    "PressureSummary",
+]

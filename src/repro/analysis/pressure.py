@@ -1,0 +1,49 @@
+"""Scheduling-pressure summary: preemptions, critical-section hits, and
+queue-lock contention -- the direct evidence trail for Section 2's
+mechanisms in a full run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.runner import ScenarioResult
+
+
+@dataclass
+class PressureSummary:
+    """Aggregate scheduling pressure of one run."""
+
+    preemptions: int
+    cs_preemptions: int
+    dispatches: int
+    queue_lock_contended: int
+    queue_lock_holder_preempted: int
+    spin_seconds: float
+    preemptions_per_sim_second: float
+
+    @property
+    def cs_preemption_ratio(self) -> float:
+        """Fraction of preemptions that landed inside a critical section."""
+        if self.preemptions == 0:
+            return 0.0
+        return self.cs_preemptions / self.preemptions
+
+
+def pressure_summary(result: ScenarioResult) -> PressureSummary:
+    """Reduce a run's statistics into a :class:`PressureSummary`."""
+    sim_seconds = result.sim_time / 1e6 if result.sim_time else 0.0
+    return PressureSummary(
+        preemptions=result.total_preemptions,
+        cs_preemptions=result.total_cs_preemptions,
+        dispatches=result.total_context_switches,
+        queue_lock_contended=sum(
+            app.queue_lock_contended for app in result.apps.values()
+        ),
+        queue_lock_holder_preempted=sum(
+            app.queue_lock_holder_preempted for app in result.apps.values()
+        ),
+        spin_seconds=result.total_spin_time / 1e6,
+        preemptions_per_sim_second=(
+            result.total_preemptions / sim_seconds if sim_seconds else 0.0
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Where did the machine's cycles go?
+
+The paper's argument is an accounting argument: oversubscription converts
+useful cycles into spin waste, context-switch overhead, cache reloads, and
+busy-wait idling.  :func:`waste_breakdown` extracts that ledger from a run.
+
+Note one subtlety: the threads package's busy-wait idle polling *is* CPU
+consumption, so the kernel books it as busy time; the package tracks it
+separately (``idle_poll_time``) and we subtract it from "useful" here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.runner import ScenarioResult
+
+
+@dataclass
+class WasteBreakdown:
+    """Machine-wide cycle accounting for one run (all in microseconds).
+
+    ``useful + idle_poll + spin + overhead + idle == capacity`` where
+    capacity is ``n_processors * sim_time``.
+    """
+
+    capacity: int
+    useful: int
+    idle_poll: int
+    spin: int
+    overhead: int
+    idle: int
+
+    @property
+    def waste(self) -> int:
+        """Everything that is not useful work and not genuine idleness."""
+        return self.idle_poll + self.spin + self.overhead
+
+    def fraction(self, field: str) -> float:
+        """One bucket as a fraction of machine capacity."""
+        value = getattr(self, field)
+        return value / self.capacity if self.capacity else 0.0
+
+    def as_percentages(self) -> dict:
+        """All buckets as percentages of capacity (for reports)."""
+        return {
+            name: round(100.0 * self.fraction(name), 2)
+            for name in ("useful", "idle_poll", "spin", "overhead", "idle")
+        }
+
+
+def waste_breakdown(result: ScenarioResult) -> WasteBreakdown:
+    """Compute the cycle ledger of a finished scenario run."""
+    utilization = result.utilization
+    capacity = sum(utilization.values())
+    idle_poll = sum(app.idle_poll_time for app in result.apps.values())
+    busy = utilization["busy"]
+    useful = max(busy - idle_poll, 0)
+    return WasteBreakdown(
+        capacity=capacity,
+        useful=useful,
+        idle_poll=min(idle_poll, busy),
+        spin=utilization["spin"],
+        overhead=utilization["overhead"],
+        idle=utilization["idle"],
+    )

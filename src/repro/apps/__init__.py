@@ -1,0 +1,44 @@
+"""The paper's benchmark applications (Section 6), task-queue style.
+
+All four applications from the paper's evaluation, expressed against the
+threads package exactly as the paper describes them -- "the application
+programmer breaks parts of his problem up into threads" -- plus synthetic
+applications used by the ablation benchmarks.
+
+- :class:`~repro.apps.matmul.MatMul` -- row-partitioned matrix multiply
+  (single phase, embarrassingly parallel, light locking).
+- :class:`~repro.apps.fft.FFT` -- Norton/Silberger-style 1-D FFT: log-many
+  phases of parallel loop pieces separated by phase barriers.
+- :class:`~repro.apps.sort.MergeSort` -- parallel heapsort of sublists,
+  then a pairwise merge tree with shrinking parallelism.
+- :class:`~repro.apps.gauss.Gauss` -- Gaussian elimination with partial
+  pivoting: alternating serial pivot and parallel elimination phases.
+- :mod:`~repro.apps.synthetic` -- parameterized uniform / barrier-heavy /
+  critical-section-heavy applications for ablations.
+
+Applications are deterministic given their ``seed``; per-task cost jitter
+models data-dependent work without breaking reproducibility.
+"""
+
+from repro.apps.base import Application, PhasedApplication
+from repro.apps.matmul import MatMul
+from repro.apps.fft import FFT
+from repro.apps.sort import MergeSort
+from repro.apps.gauss import Gauss
+from repro.apps.quicksort import QuickSort
+from repro.apps.jacobi import Jacobi
+from repro.apps.synthetic import BarrierHeavyApp, CriticalSectionApp, UniformApp
+
+__all__ = [
+    "Application",
+    "PhasedApplication",
+    "MatMul",
+    "FFT",
+    "MergeSort",
+    "Gauss",
+    "QuickSort",
+    "Jacobi",
+    "UniformApp",
+    "BarrierHeavyApp",
+    "CriticalSectionApp",
+]

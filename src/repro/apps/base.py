@@ -1,0 +1,106 @@
+"""Application interfaces for the task-queue model.
+
+An :class:`Application` supplies tasks to a
+:class:`~repro.threads.package.ThreadsPackage`:
+
+* :meth:`initial_tasks` seeds the queue when the application starts;
+* :meth:`on_task_done` may return follow-on tasks -- this is how phased
+  algorithms express "the next loop begins when the previous one drains",
+  the safe-suspension-friendly alternative to process-level barriers that
+  Section 4.1's task model implies.
+
+:class:`PhasedApplication` packages the common pattern: a fixed sequence of
+phases, each a list of tasks; the phase boundary is crossed when its last
+task completes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+from repro.sim.rand import RandomStreams
+from repro.threads.task import Task
+
+
+class Application(ABC):
+    """Base class for task-queue applications."""
+
+    #: Fraction of a full working set this application keeps resident in a
+    #: processor cache (scales reload penalties); streaming applications
+    #: override this downward.
+    cache_footprint: float = 1.0
+
+    def __init__(self, app_id: str, seed: int = 0) -> None:
+        self.app_id = app_id
+        self.seed = seed
+        self.streams = RandomStreams(seed).fork(app_id)
+
+    @abstractmethod
+    def initial_tasks(self) -> List[Task]:
+        """Tasks to enqueue when the application starts."""
+
+    def on_task_done(self, task: Task) -> List[Task]:
+        """Follow-on tasks released by *task*'s completion (default none)."""
+        return []
+
+    def total_work(self) -> int:
+        """Total single-processor compute the application embodies, in
+        microseconds (used to sanity-check speedups in tests)."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable parameter summary for experiment reports."""
+        return {"app_id": self.app_id}
+
+    def _jitter(self, cost: int, fraction: float, stream: str = "jitter") -> int:
+        """A deterministic jittered cost in ``[cost*(1-f), cost*(1+f)]``."""
+        if fraction <= 0:
+            return cost
+        rng = self.streams.get(stream)
+        return max(1, int(round(cost * (1.0 + rng.uniform(-fraction, fraction)))))
+
+
+class PhasedApplication(Application):
+    """An application that is a fixed sequence of task phases."""
+
+    def __init__(self, app_id: str, seed: int = 0) -> None:
+        super().__init__(app_id, seed)
+        self._remaining: Dict[int, int] = {}
+
+    @property
+    @abstractmethod
+    def n_phases(self) -> int:
+        """Number of phases."""
+
+    @abstractmethod
+    def phase_tasks(self, phase: int) -> List[Task]:
+        """Tasks of one phase.  Called once per phase, in order."""
+
+    def initial_tasks(self) -> List[Task]:
+        tasks = self.phase_tasks(0)
+        if not tasks:
+            raise ValueError(f"{self.app_id}: phase 0 produced no tasks")
+        self._remaining[0] = len(tasks)
+        return tasks
+
+    def on_task_done(self, task: Task) -> List[Task]:
+        phase = task.phase
+        if phase not in self._remaining:
+            raise RuntimeError(
+                f"{self.app_id}: completion for phase {phase}, which is not "
+                "in flight (duplicate completion or wrong phase)"
+            )
+        self._remaining[phase] -= 1
+        if self._remaining[phase] < 0:
+            raise RuntimeError(f"{self.app_id}: phase {phase} over-completed")
+        if self._remaining[phase] == 0 and phase + 1 < self.n_phases:
+            del self._remaining[phase]
+            tasks = self.phase_tasks(phase + 1)
+            if not tasks:
+                raise ValueError(
+                    f"{self.app_id}: phase {phase + 1} produced no tasks"
+                )
+            self._remaining[phase + 1] = len(tasks)
+            return tasks
+        return []

@@ -1,0 +1,111 @@
+"""A divide-and-conquer quicksort expressed with *dynamic* task spawning.
+
+The paper's task model explicitly allows a running thread to "add new
+threads to the task queue"; the four benchmark applications exercise the
+static/phased side of that model, and this application exercises the
+dynamic side: each partition task spawns its two sub-partitions with
+:class:`~repro.threads.task.SpawnTask` until segments fall below the
+sequential cutoff.  Parallelism therefore *unfolds at runtime*, which
+stresses the process-control safe points in a different way -- the number
+of outstanding tasks swings from 1 to hundreds and back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.base import Application
+from repro.sim import units
+from repro.sync import SpinLock
+from repro.threads.task import SpawnTask, Task
+
+
+class QuickSort(Application):
+    """Task-parallel quicksort over ``n_elements`` abstract elements.
+
+    Costs model comparison work: partitioning a segment of length ``n``
+    costs ``cost_per_element * n``; segments at or below ``cutoff`` are
+    sorted sequentially for ``cost_per_element * n * log2-ish`` work.
+    Segment lengths are deterministic given the seed (a biased split keeps
+    the recursion tree interesting without pathological depth).
+
+    Attributes:
+        tasks_spawned: total partition/sort tasks created (test hook).
+    """
+
+    cache_footprint = 0.7
+
+    def __init__(
+        self,
+        app_id: str = "quicksort",
+        n_elements: int = 200_000,
+        cutoff: int = 4_000,
+        cost_per_element: int = 2,  # us per element partitioned
+        scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(app_id, seed)
+        if n_elements < 1:
+            raise ValueError("n_elements must be >= 1")
+        if cutoff < 1:
+            raise ValueError("cutoff must be >= 1")
+        self.n_elements = n_elements
+        self.cutoff = cutoff
+        self.cost_per_element = max(1, int(cost_per_element * scale))
+        self.merge_lock = SpinLock(f"{app_id}.done")
+        self.tasks_spawned = 0
+        self.segments_sorted = 0
+
+    # -- task construction ---------------------------------------------------
+
+    def _split(self, length: int) -> int:
+        """Deterministic, mildly unbalanced pivot position."""
+        rng = self.streams.get("pivots")
+        fraction = rng.uniform(0.35, 0.65)
+        left = int(length * fraction)
+        return min(max(left, 1), length - 1)
+
+    def _segment_task(self, label: str, length: int) -> Task:
+        self.tasks_spawned += 1
+        app = self
+
+        def body():
+            if length <= app.cutoff:
+                # Sequential sort of a small segment.
+                from repro.kernel import syscalls as sc
+
+                yield sc.Compute(app.cost_per_element * length * 2)
+                yield sc.SpinAcquire(app.merge_lock)
+                app.segments_sorted += 1
+                yield sc.Compute(units.us(20))
+                yield sc.SpinRelease(app.merge_lock)
+                return
+            # Partition pass over the whole segment, then spawn halves.
+            from repro.kernel import syscalls as sc
+
+            yield sc.Compute(app.cost_per_element * length)
+            left = app._split(length)
+            right = length - left
+            yield SpawnTask(app._segment_task(f"{label}l", left))
+            yield SpawnTask(app._segment_task(f"{label}r", right))
+
+        return Task(name=f"{self.app_id}.{label}", body=body)
+
+    # -- Application interface -------------------------------------------------
+
+    def initial_tasks(self) -> List[Task]:
+        return [self._segment_task("root", self.n_elements)]
+
+    def total_work(self) -> int:
+        # Work is data-dependent (pivot draws); give the guaranteed lower
+        # bound: one partition pass over the root plus sequential sorting.
+        return self.cost_per_element * self.n_elements
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "app_id": self.app_id,
+            "kind": "quicksort",
+            "n_elements": self.n_elements,
+            "cutoff": self.cutoff,
+            "cost_per_element_us": self.cost_per_element,
+        }

@@ -1,0 +1,18 @@
+"""The paper's contribution: centralized, dynamic process control.
+
+- :func:`~repro.core.policy.partition_processors` -- the server's fair
+  partitioning rule (Section 5): subtract uncontrollable load, divide the
+  rest equally, cap at each application's process count, guarantee one.
+- :class:`~repro.core.server.ProcessControlServer` -- the centralized
+  user-level server process: periodically scans the process table,
+  recomputes the partition, and publishes per-application targets that
+  applications poll.
+- The application-side half (polling, safe suspension, resumption) lives in
+  :class:`repro.threads.package.ThreadsPackage`, because the paper embeds
+  it in the threads package, transparently to applications.
+"""
+
+from repro.core.policy import partition_processors
+from repro.core.server import ProcessControlServer
+
+__all__ = ["partition_processors", "ProcessControlServer"]

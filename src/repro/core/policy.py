@@ -1,0 +1,92 @@
+"""Processor partitioning policy (the server's decision rule, Section 5).
+
+"[The server] first determines the number of runnable processes not
+belonging to controllable applications.  It then subtracts this from the
+number of processors in the system, to determine the number of processors
+available ...  It then partitions these processors among the applications
+fairly ...  Special provisions are made so that an application will not be
+'assigned' more processors than it can use ...  It also ensures that each
+application has at least one runnable process to avoid starvation."
+
+The fair division is a water-filling allocation: applications are
+considered in increasing order of their process-count cap, each taking
+``min(cap, remaining // apps_left)`` (but at least one), so capacity an
+application cannot use flows to the applications that can.  The worked
+example of Section 5 (8 processors, 2 uncontrollable processes, three
+applications with 2, 6 and 6 processes) yields 2/2/2, exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+
+def partition_processors(
+    n_processors: int,
+    uncontrolled_runnable: int,
+    app_totals: Mapping[str, int],
+    weights: Optional[Mapping[str, float]] = None,
+) -> Dict[str, int]:
+    """Compute per-application runnable-process targets.
+
+    Args:
+        n_processors: processors in the machine.
+        uncontrolled_runnable: runnable processes of uncontrollable
+            applications (subtracted from the pool).
+        app_totals: total (alive) process count per controllable
+            application -- the cap on what each can use.
+        weights: optional relative priorities; equal weights reproduce the
+            paper's policy ("given that all three have the same priority,
+            each of them gets two processors").
+
+    Returns:
+        target runnable-process count per application; every application
+        gets at least 1 (starvation avoidance) and at most its total.
+    """
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    if uncontrolled_runnable < 0:
+        raise ValueError("uncontrolled_runnable must be >= 0")
+    for app_id, total in app_totals.items():
+        if total < 1:
+            raise ValueError(f"application {app_id!r} has no processes")
+    if not app_totals:
+        return {}
+
+    available = max(n_processors - uncontrolled_runnable, 0)
+    if weights is None:
+        weight_of = {app_id: 1.0 for app_id in app_totals}
+    else:
+        weight_of = {app_id: float(weights.get(app_id, 1.0)) for app_id in app_totals}
+        for app_id, weight in weight_of.items():
+            if weight <= 0:
+                raise ValueError(f"weight for {app_id!r} must be positive")
+
+    # Water-filling: visit applications in increasing cap order (per unit
+    # of weight) so unused share flows to larger applications; ties break
+    # on the application id for determinism.
+    order = sorted(
+        app_totals, key=lambda a: (app_totals[a] / weight_of[a], a)
+    )
+    targets: Dict[str, int] = {}
+    remaining = available
+    weight_left = sum(weight_of.values())
+    for app_id in order:
+        cap = app_totals[app_id]
+        fair = int(remaining * weight_of[app_id] / weight_left) if weight_left else 0
+        give = min(cap, max(1, fair))
+        targets[app_id] = give
+        remaining = max(remaining - give, 0)
+        weight_left -= weight_of[app_id]
+
+    # Distribute any leftover (from integer truncation) to applications
+    # still below their cap, smallest allocation first.
+    while remaining > 0:
+        candidates = [a for a in order if targets[a] < app_totals[a]]
+        if not candidates:
+            break
+        candidates.sort(key=lambda a: (targets[a] / weight_of[a], a))
+        targets[candidates[0]] += 1
+        remaining -= 1
+    return targets

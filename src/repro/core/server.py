@@ -1,0 +1,139 @@
+"""The centralized process-control server (Section 5).
+
+A user-level daemon process that, every ``interval`` (6 seconds in the
+paper), scans the kernel's process table, determines the runnable load of
+uncontrollable applications, partitions the remaining processors fairly
+among the controllable applications, and publishes the per-application
+targets on a :class:`~repro.kernel.ipc.ControlBoard`.  Applications poll
+the board (through their threads package) and suspend or resume their own
+worker processes to match.
+
+Applications announce themselves by sending a registration message with
+their root pid on the server's channel; the server keeps a registry (used
+for reporting and for the paper's parent-pid bookkeeping) but derives its
+load information from the process table each round, so it also notices
+applications that vanish without deregistering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.policy import partition_processors
+from repro.kernel import Kernel
+from repro.kernel import syscalls as sc
+from repro.kernel.ipc import Channel, ControlBoard
+from repro.kernel.process import Process
+from repro.sim import units
+
+
+class ProcessControlServer:
+    """The centralized server of the paper's scheme.
+
+    Create it, then call :meth:`start` to spawn the server process.  Pass
+    :attr:`board` (and optionally :attr:`channel`) to each application's
+    :class:`~repro.threads.package.ThreadsPackageConfig`.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        interval: Optional[int] = None,
+        compute_cost: int = 500,
+        weights: Optional[Mapping[str, float]] = None,
+        name: str = "pc-server",
+        partition_policy: Optional[object] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.interval = interval if interval is not None else units.seconds(6)
+        if self.interval <= 0:
+            raise ValueError("server interval must be positive")
+        self.compute_cost = compute_cost
+        self.weights = dict(weights) if weights else None
+        self.name = name
+        #: Section 7 integration: when set to the machine's
+        #: :class:`~repro.kernel.scheduler.partition.SpacePartitionScheduler`,
+        #: each application's target is the size of its processor group
+        #: rather than a flat machine-wide division, so a controlled
+        #: application is not starved by greedy uncontrolled load that the
+        #: partition already isolates.
+        self.partition_policy = partition_policy
+        self.board = ControlBoard()
+        self.channel = Channel(f"{name}.register")
+        self.pid: Optional[int] = None
+        self.updates = 0
+        self.registered: Dict[str, int] = {}
+        #: (time, targets) after every update -- experiment diagnostics.
+        self.history: List[Tuple[int, Dict[str, int]]] = []
+
+    def start(self) -> Process:
+        """Spawn the server process (daemon: it never exits by itself)."""
+        if self.pid is not None:
+            raise RuntimeError("server already started")
+        process = self.kernel.spawn(
+            self._program(), name=self.name, daemon=True, controllable=False
+        )
+        self.pid = process.pid
+        return process
+
+    def compute_targets(
+        self, table: List[sc.Syscall], now: int
+    ) -> Dict[str, int]:
+        """One partitioning decision from a process-table snapshot.
+
+        Split out of the server loop so tests can drive it directly with a
+        synthetic table.
+        """
+        uncontrolled = sum(
+            1
+            for row in table
+            if row.runnable and not row.controllable and row.pid != self.pid
+        )
+        app_totals: Dict[str, int] = {}
+        for row in table:
+            if row.controllable and row.app_id is not None:
+                app_totals[row.app_id] = app_totals.get(row.app_id, 0) + 1
+        if self.partition_policy is not None:
+            # Section 7: the policy module has already assigned each
+            # application a processor group; target = group size (capped
+            # by the application's process count, at least one).
+            return {
+                app_id: max(
+                    1,
+                    min(total, len(self.partition_policy.partition_of(app_id))),
+                )
+                for app_id, total in app_totals.items()
+            }
+        return partition_processors(
+            self.kernel.machine.n_processors,
+            uncontrolled,
+            app_totals,
+            self.weights,
+        )
+
+    def _program(self):
+        while True:
+            # Drain registration messages without blocking: on a
+            # shared-memory machine peeking at the queue depth is free;
+            # each actual receive is charged normally.
+            while len(self.channel):
+                message = yield sc.ChannelReceive(self.channel)
+                kind, app_id, root_pid = message
+                if kind == "register":
+                    self.registered[app_id] = root_pid
+                    self.kernel.trace.emit(
+                        self.kernel.now,
+                        "server.register",
+                        app_id=app_id,
+                        root_pid=root_pid,
+                    )
+            table = yield sc.GetProcessTable()
+            targets = self.compute_targets(table, self.kernel.now)
+            yield sc.Compute(self.compute_cost)
+            self.board.post(targets, self.kernel.now)
+            self.updates += 1
+            self.history.append((self.kernel.now, dict(targets)))
+            self.kernel.trace.emit(
+                self.kernel.now, "server.update", targets=dict(targets)
+            )
+            yield sc.Sleep(self.interval)

@@ -1,0 +1,64 @@
+"""Command-line entry point for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments figure1 [--preset paper|quick]
+    python -m repro.experiments all --preset quick
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    ablations,
+    claims,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    mechanisms,
+    steady_state,
+)
+
+_EXPERIMENTS = {
+    "figure1": figure1.main,
+    "figure2": figure2.main,
+    "figure3": figure3.main,
+    "figure4": figure4.main,
+    "figure5": figure5.main,
+    "claims": claims.main,
+    "ablations": ablations.main,
+    "mechanisms": mechanisms.main,
+    "steady-state": steady_state.main,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures and ablations.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["paper", "quick"],
+        default="paper",
+        help="paper = full-size workloads; quick = reduced (for smoke runs)",
+    )
+    args = parser.parse_args()
+    if args.experiment == "all":
+        for name in sorted(_EXPERIMENTS):
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            _EXPERIMENTS[name](args.preset)
+    else:
+        _EXPERIMENTS[args.experiment](args.preset)
+
+
+if __name__ == "__main__":
+    main()

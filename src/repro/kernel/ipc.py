@@ -1,0 +1,108 @@
+"""Inter-process communication.
+
+UMAX "provides interprocess communication through sockets" (Section 5); the
+central server and the applications talk over them.  We model two pieces:
+
+* :class:`Channel` -- a bounded FIFO message queue with blocking send (when
+  full) and blocking receive (when empty).  Passive state, transitions by
+  the kernel when servicing ``ChannelSend`` / ``ChannelReceive``.
+* :class:`ControlBoard` -- the shared-memory bulletin board the server
+  posts per-application process targets on.  On a shared-memory machine the
+  server's replies are equivalent to writes that applications read at their
+  next poll; the board keeps the same staleness semantics as the paper's
+  socket polling (applications look at most once per poll interval) without
+  simulating byte streams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+class Channel:
+    """A bounded, FIFO, blocking message channel.
+
+    Attributes:
+        name: label for traces.
+        capacity: maximum queued messages; ``None`` means unbounded.
+        messages: queued payloads.
+        recv_waiters / send_waiters: blocked processes (kernel-managed).
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "messages",
+        "recv_waiters",
+        "send_waiters",
+        "sends",
+        "receives",
+    )
+
+    def __init__(self, name: str = "channel", capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.messages: Deque[Any] = deque()
+        self.recv_waiters: List[Any] = []
+        # send_waiters holds (process, message) pairs awaiting space.
+        self.send_waiters: List[Tuple[Any, Any]] = []
+        self.sends = 0
+        self.receives = 0
+
+    @property
+    def full(self) -> bool:
+        """True when a send would block."""
+        return self.capacity is not None and len(self.messages) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when a receive would block."""
+        return not self.messages
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Channel {self.name!r} queued={len(self.messages)}>"
+
+
+class ControlBoard:
+    """Shared-memory cell holding the server's per-application targets.
+
+    The server writes ``targets[app_id] -> allowed runnable processes``
+    whenever it recomputes the partition; applications read their entry at
+    safe suspension points, at most once per poll interval.  ``version``
+    increments on every server update so readers (and tests) can tell stale
+    data from fresh.
+    """
+
+    def __init__(self) -> None:
+        self.targets: Dict[str, int] = {}
+        self.version = 0
+        self.updated_at: Optional[int] = None
+
+    def post(self, targets: Dict[str, int], now: int) -> None:
+        """Publish a new target map (server side)."""
+        for app_id, target in targets.items():
+            if target < 0:
+                raise ValueError(
+                    f"negative target {target} for application {app_id!r}"
+                )
+        self.targets = dict(targets)
+        self.version += 1
+        self.updated_at = now
+
+    def read(self, app_id: str) -> Optional[int]:
+        """Read the current target for *app_id* (application side).
+
+        Returns ``None`` when the server has not yet published a target for
+        this application, in which case the application leaves its process
+        count alone.
+        """
+        return self.targets.get(app_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ControlBoard v{self.version} {self.targets}>"

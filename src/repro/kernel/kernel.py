@@ -1,0 +1,911 @@
+"""The kernel: mechanism for dispatch, preemption, syscalls, and accounting.
+
+The kernel drives simulated programs (Python generators yielding syscall
+objects from :mod:`repro.kernel.syscalls`) over the processors of a
+:class:`repro.machine.Machine`, under a pluggable
+:class:`repro.kernel.scheduler.SchedulerPolicy`.
+
+Mechanisms reproduced from the paper's platform:
+
+* per-processor time quanta with preemption to the policy's queue;
+* context-switch and dispatch costs, plus cache-reload penalties computed
+  from the machine's warmth model (Section 2, points 3-4);
+* spinlocks that burn processor time while spinning, including the
+  pathological case of spinning on a lock whose holder is preempted
+  (Section 2, point 1);
+* signals for process suspension/resumption (Section 5);
+* a ``GetRunnableInfo`` syscall for the centralized server (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.ipc import Channel
+from repro.kernel.process import (
+    Process,
+    ProcessState,
+    RunnableProcessInfo,
+)
+from repro.kernel import syscalls as sc
+from repro.kernel.scheduler.base import SchedulerPolicy
+from repro.kernel.scheduler.fifo import FifoScheduler
+from repro.machine import Machine
+from repro.sim import Engine, TraceLog
+from repro.sim.engine import EventHandle, SimulationError
+
+
+@dataclass
+class _CpuState:
+    """Kernel-private per-processor bookkeeping."""
+
+    #: Accounting bucket the elapsed time belongs to: idle/overhead/busy/spin.
+    kind: str = "idle"
+    #: What the current segment is: None, "overhead", "compute", "micro", "spin".
+    segment_kind: Optional[str] = None
+    segment_started: int = 0
+    segment_event: Optional[EventHandle] = None
+    quantum_event: Optional[EventHandle] = None
+    stint_started: int = 0
+
+
+class Kernel:
+    """A simulated UMAX-like kernel."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        engine: Optional[Engine] = None,
+        policy: Optional[SchedulerPolicy] = None,
+        config: Optional[KernelConfig] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.machine = machine or Machine()
+        self.engine = engine or Engine()
+        self.config = config or KernelConfig()
+        # Note: explicit None check -- an empty TraceLog is falsy (len == 0).
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.policy = policy or FifoScheduler()
+        self.policy.attach(self)
+
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 1
+        self._cpu: List[_CpuState] = [
+            _CpuState() for _ in range(self.machine.n_processors)
+        ]
+        self._dispatch_scheduled = False
+        self._last_runnable: Optional[tuple] = None
+        #: Callbacks invoked with the Process whenever one terminates.
+        self.exit_listeners: List[Callable[[Process], None]] = []
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microseconds."""
+        return self.engine.now
+
+    def spawn(
+        self,
+        program: Any,
+        name: str = "process",
+        app_id: Optional[str] = None,
+        controllable: bool = False,
+        daemon: bool = False,
+        ppid: int = 0,
+        cache_footprint: float = 1.0,
+    ) -> Process:
+        """Create a process running *program* and make it runnable."""
+        if cache_footprint < 0:
+            raise ValueError("cache_footprint must be >= 0")
+        pid = self._next_pid
+        self._next_pid += 1
+        process = Process(
+            pid=pid,
+            program=program,
+            name=name,
+            app_id=app_id,
+            controllable=controllable,
+            daemon=daemon,
+            ppid=ppid,
+        )
+        process.cache_footprint = cache_footprint
+        process.spawn_time = self.now
+        process.state = ProcessState.READY
+        process.ready_since = self.now
+        self.processes[pid] = process
+        self.policy.on_process_spawn(process)
+        self.policy.enqueue(process, "new")
+        self.trace.emit(
+            self.now, "kernel.spawn", pid=pid, name=name, app_id=app_id
+        )
+        self._note_runnable_change()
+        self._request_dispatch()
+        return process
+
+    def runnable_snapshot(self) -> List[RunnableProcessInfo]:
+        """Rows for every READY or RUNNING process (GetRunnableInfo body)."""
+        return [p.info() for p in self.processes.values() if p.runnable]
+
+    def runnable_count(self) -> int:
+        """Total runnable (READY + RUNNING) processes."""
+        return sum(1 for p in self.processes.values() if p.runnable)
+
+    def runnable_by_app(self) -> Dict[Optional[str], int]:
+        """Runnable process count per application id."""
+        counts: Dict[Optional[str], int] = {}
+        for p in self.processes.values():
+            if p.runnable:
+                counts[p.app_id] = counts.get(p.app_id, 0) + 1
+        return counts
+
+    def alive_nondaemon_count(self) -> int:
+        """Processes that keep an experiment alive (non-daemon, not exited)."""
+        return sum(1 for p in self.processes.values() if p.alive and not p.daemon)
+
+    def processes_of_app(self, app_id: str) -> List[Process]:
+        """All (alive or dead) processes tagged with *app_id*."""
+        return [p for p in self.processes.values() if p.app_id == app_id]
+
+    def force_preempt(self, cpu: int) -> None:
+        """Preempt whatever runs on *cpu* now (used by gang scheduling)."""
+        if self.machine.processors[cpu].current is not None:
+            self._preempt(cpu, reason="policy")
+
+    def request_dispatch(self) -> None:
+        """Ask the kernel to fill idle processors (used by policies)."""
+        self._request_dispatch()
+
+    def run_until_quiescent(
+        self,
+        done: Optional[Callable[[], bool]] = None,
+        max_events: int = 50_000_000,
+        max_time: Optional[int] = None,
+    ) -> None:
+        """Step the engine until *done* returns True (default: all non-daemon
+        processes have terminated), the calendar empties, or a guard trips.
+
+        Raises :class:`SimulationError` on the event guard; raises on time
+        guard as well, since hitting either means a hang in an experiment.
+        """
+        if done is None:
+            done = lambda: self.alive_nondaemon_count() == 0  # noqa: E731
+        fired = 0
+        while not done():
+            if not self.engine.step():
+                if done():
+                    break
+                raise SimulationError(
+                    "event calendar empty but completion predicate is false: "
+                    "the workload is deadlocked"
+                )
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            if max_time is not None and self.now > max_time:
+                raise SimulationError(
+                    f"simulated time exceeded max_time={max_time}us"
+                )
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+
+    def _mark(self, cpu: int, new_kind: str) -> None:
+        """Close the current accounting interval on *cpu*, open *new_kind*."""
+        state = self._cpu[cpu]
+        self.machine.processors[cpu].account(self.now, state.kind)
+        state.kind = new_kind
+
+    def finalize_accounting(self) -> None:
+        """Settle all per-processor accounting up to the current time.
+
+        Call once at the end of a run before reading utilization summaries.
+        """
+        for cpu in range(self.machine.n_processors):
+            self._mark(cpu, self._cpu[cpu].kind)
+
+    def _note_runnable_change(self) -> None:
+        """Emit a trace record when the runnable census changes."""
+        if not self.config.runnable_trace or not self.trace.wants("kernel.runnable"):
+            return
+        per_app: Dict[str, int] = {}
+        total = 0
+        for p in self.processes.values():
+            if p.runnable:
+                total += 1
+                key = p.app_id if p.app_id is not None else "<none>"
+                per_app[key] = per_app.get(key, 0) + 1
+        snapshot = (total, tuple(sorted(per_app.items())))
+        if snapshot != self._last_runnable:
+            self._last_runnable = snapshot
+            self.trace.emit(
+                self.now, "kernel.runnable", total=total, per_app=dict(per_app)
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+
+    def _request_dispatch(self) -> None:
+        if not self._dispatch_scheduled:
+            self._dispatch_scheduled = True
+            self.engine.schedule(0, self._dispatch_pass, label="dispatch-pass")
+
+    def _dispatch_pass(self) -> None:
+        self._dispatch_scheduled = False
+        for cpu in range(self.machine.n_processors):
+            if self.machine.processors[cpu].current is None:
+                process = self.policy.dequeue(cpu)
+                if process is not None:
+                    self._dispatch(cpu, process)
+
+    def _dispatch(self, cpu: int, process: Process) -> None:
+        processor = self.machine.processors[cpu]
+        if processor.current is not None:
+            raise SimulationError(f"dispatch onto busy cpu {cpu}")
+        if process.state is not ProcessState.READY:
+            raise SimulationError(
+                f"dispatch of process {process.pid} in state {process.state.name}"
+            )
+        state = self._cpu[cpu]
+        mconfig = self.machine.config
+        reload_penalty = int(
+            self.machine.cache.reload_penalty(cpu, process.pid)
+            * process.cache_footprint
+        )
+        overhead = (
+            mconfig.context_switch_cost + mconfig.dispatch_latency + reload_penalty
+        )
+
+        if process.ready_since is not None:
+            process.stats.ready_wait_time += self.now - process.ready_since
+            process.ready_since = None
+        process.state = ProcessState.RUNNING
+        process.cpu = cpu
+        process.stats.dispatches += 1
+        processor.current = process
+        processor.dispatches += 1
+
+        self._mark(cpu, "overhead")
+        state.stint_started = self.now
+        state.segment_kind = "overhead"
+        state.segment_started = self.now
+        quantum = self.policy.quantum_for(process, cpu)
+        state.quantum_event = self.engine.schedule(
+            overhead + quantum, lambda: self._quantum_expired(cpu), "quantum"
+        )
+        state.segment_event = self.engine.schedule(
+            overhead, lambda: self._begin_service(cpu), "begin-service"
+        )
+        self.trace.emit(
+            self.now,
+            "kernel.dispatch",
+            pid=process.pid,
+            cpu=cpu,
+            overhead=overhead,
+            reload=reload_penalty,
+        )
+
+    def _begin_service(self, cpu: int) -> None:
+        state = self._cpu[cpu]
+        state.segment_event = None
+        state.segment_kind = None
+        self._mark(cpu, "busy")
+        self._service(cpu)
+
+    def _undispatch(self, cpu: int) -> Process:
+        """Take the current process off *cpu*, settling all accounting."""
+        processor = self.machine.processors[cpu]
+        state = self._cpu[cpu]
+        process = processor.current
+        if process is None:
+            raise SimulationError(f"undispatch of idle cpu {cpu}")
+
+        if state.segment_kind == "compute":
+            ran = self.now - state.segment_started
+            syscall = process.pending_syscall
+            if not isinstance(syscall, sc.Compute):
+                raise SimulationError("compute segment without Compute syscall")
+            if syscall.remaining is None or syscall.remaining < ran:
+                raise SimulationError("compute segment accounting mismatch")
+            syscall.remaining -= ran
+            process.stats.cpu_time += ran
+        elif state.segment_kind == "spin":
+            self._settle_spin(cpu, process)
+
+        if state.segment_event is not None:
+            state.segment_event.cancel()
+            state.segment_event = None
+        if state.quantum_event is not None:
+            state.quantum_event.cancel()
+            state.quantum_event = None
+        state.segment_kind = None
+
+        self.machine.cache.note_execution(
+            cpu, process.pid, self.now - state.stint_started
+        )
+        processor.current = None
+        process.cpu = None
+        process.last_cpu = cpu
+        self._mark(cpu, "idle")
+        return process
+
+    def _settle_spin(self, cpu: int, process: Process) -> None:
+        """Account a spinning interval ending now and detach from the lock."""
+        state = self._cpu[cpu]
+        elapsed = self.now - state.segment_started
+        lock = process.spinning_on
+        if lock is None:
+            raise SimulationError("spin segment without a lock")
+        process.stats.spin_time += elapsed
+        lock.total_spin_time += elapsed
+        if process in lock.spinners:
+            lock.spinners.remove(process)
+        process.spinning_on = None
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+
+    def _quantum_expired(self, cpu: int) -> None:
+        state = self._cpu[cpu]
+        state.quantum_event = None
+        process = self.machine.processors[cpu].current
+        if process is None:
+            return
+        if process.no_preempt and not process.deferred_preempt:
+            # Zahorjan scheme: honour the flag once, for a bounded grace.
+            process.deferred_preempt = True
+            state.quantum_event = self.engine.schedule(
+                self.config.nopreempt_grace,
+                lambda: self._quantum_expired(cpu),
+                "quantum-grace",
+            )
+            self.trace.emit(
+                self.now, "kernel.preempt_deferred", pid=process.pid, cpu=cpu
+            )
+            return
+        if not self.policy.has_waiting(cpu):
+            # Nobody is waiting: extend the current process instead of a
+            # pointless same-process context switch.
+            quantum = self.policy.quantum_for(process, cpu)
+            state.quantum_event = self.engine.schedule(
+                quantum, lambda: self._quantum_expired(cpu), "quantum"
+            )
+            return
+        self._preempt(cpu, reason="quantum")
+
+    def _preempt(self, cpu: int, reason: str) -> None:
+        process = self._undispatch(cpu)
+        process.deferred_preempt = False
+        process.stats.preemptions += 1
+        in_cs = process.locks_held > 0
+        if in_cs:
+            process.stats.preemptions_in_critical_section += 1
+        process.state = ProcessState.READY
+        process.ready_since = self.now
+        self.policy.enqueue(process, "preempted")
+        self.trace.emit(
+            self.now,
+            "kernel.preempt",
+            pid=process.pid,
+            cpu=cpu,
+            reason=reason,
+            in_critical_section=in_cs,
+        )
+        self._request_dispatch()
+
+    # ------------------------------------------------------------------
+    # Blocking and waking
+    # ------------------------------------------------------------------
+
+    def _block_current(self, cpu: int, reason: str) -> Process:
+        process = self._undispatch(cpu)
+        process.state = ProcessState.BLOCKED
+        process.block_reason = reason
+        process.blocked_since = self.now
+        self.trace.emit(self.now, "kernel.block", pid=process.pid, reason=reason)
+        self._note_runnable_change()
+        self._request_dispatch()
+        return process
+
+    def _wake(self, process: Process) -> None:
+        if process.state is not ProcessState.BLOCKED:
+            raise SimulationError(
+                f"wake of process {process.pid} in state {process.state.name}"
+            )
+        if process.blocked_since is not None:
+            process.stats.block_time += self.now - process.blocked_since
+            process.blocked_since = None
+        process.block_reason = None
+        process.state = ProcessState.READY
+        process.ready_since = self.now
+        self.policy.enqueue(process, "unblocked")
+        self.trace.emit(self.now, "kernel.wake", pid=process.pid)
+        self._note_runnable_change()
+        self._request_dispatch()
+
+    def _exit_current(self, cpu: int) -> None:
+        process = self._undispatch(cpu)
+        process.state = ProcessState.TERMINATED
+        process.exit_time = self.now
+        self.machine.cache.evict_process(process.pid)
+        self.policy.on_process_exit(process)
+        self.trace.emit(self.now, "kernel.exit", pid=process.pid, name=process.name)
+        self._note_runnable_change()
+        # Release joiners blocked in WaitPid on this process.
+        joiners, process.join_waiters = process.join_waiters, []
+        for joiner in joiners:
+            joiner.pending_syscall = None
+            joiner.syscall_result = True
+            self._wake(joiner)
+        for listener in list(self.exit_listeners):
+            listener(process)
+        self._request_dispatch()
+
+    # ------------------------------------------------------------------
+    # Syscall service loop
+    # ------------------------------------------------------------------
+
+    def _advance(self, process: Process) -> Optional[Any]:
+        """Get the process's next syscall, or None if the program returned."""
+        try:
+            result = process.syscall_result
+            process.syscall_result = None
+            return process.program.send(result)
+        except StopIteration:
+            return None
+        except Exception as exc:
+            raise SimulationError(
+                f"program of process {process.pid} ({process.name!r}) raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _finish_syscall(self, cpu: int, process: Process, result: Any, cost: int) -> bool:
+        """Complete the pending syscall; charge *cost* as CPU time.
+
+        Returns True if the service loop may continue immediately, False if
+        a cost segment was scheduled (the loop must return).
+        """
+        process.pending_syscall = None
+        process.syscall_result = result
+        if cost <= 0:
+            return True
+        process.stats.cpu_time += cost
+        state = self._cpu[cpu]
+        state.segment_kind = "micro"
+        state.segment_started = self.now
+        state.segment_event = self.engine.schedule(
+            cost, lambda: self._micro_done(cpu), "micro"
+        )
+        return False
+
+    def _micro_done(self, cpu: int) -> None:
+        state = self._cpu[cpu]
+        state.segment_event = None
+        state.segment_kind = None
+        self._service(cpu)
+
+    def _compute_done(self, cpu: int) -> None:
+        state = self._cpu[cpu]
+        process = self.machine.processors[cpu].current
+        if process is None:
+            raise SimulationError("compute completion on idle cpu")
+        syscall = process.pending_syscall
+        if not isinstance(syscall, sc.Compute):
+            raise SimulationError("compute completion without Compute syscall")
+        process.stats.cpu_time += syscall.remaining or 0
+        syscall.remaining = 0
+        state.segment_event = None
+        state.segment_kind = None
+        process.pending_syscall = None
+        process.syscall_result = None
+        self._service(cpu)
+
+    def _service(self, cpu: int) -> None:
+        """Drive the current process until it blocks, computes, or exits."""
+        state = self._cpu[cpu]
+        while True:
+            process = self.machine.processors[cpu].current
+            if process is None:
+                return
+            syscall = process.pending_syscall
+            if syscall is None:
+                syscall = self._advance(process)
+                if syscall is None:
+                    self._exit_current(cpu)
+                    return
+                process.pending_syscall = syscall
+
+            handler = self._HANDLERS.get(type(syscall))
+            if handler is None:
+                raise SimulationError(
+                    f"process {process.pid} yielded unknown syscall "
+                    f"{type(syscall).__name__}"
+                )
+            if not handler(self, cpu, process, syscall):
+                return
+
+    # Each handler returns True to continue the service loop immediately,
+    # False if the process left the loop (blocked, spinning, computing,
+    # exited, or a cost segment was scheduled).
+
+    def _sys_compute(self, cpu: int, process: Process, syscall: sc.Compute) -> bool:
+        if syscall.remaining is None:
+            syscall.remaining = syscall.amount
+        if syscall.remaining <= 0:
+            process.pending_syscall = None
+            process.syscall_result = None
+            return True
+        state = self._cpu[cpu]
+        state.segment_kind = "compute"
+        state.segment_started = self.now
+        state.segment_event = self.engine.schedule(
+            syscall.remaining, lambda: self._compute_done(cpu), "compute"
+        )
+        return False
+
+    def _sys_spin_acquire(
+        self, cpu: int, process: Process, syscall: sc.SpinAcquire
+    ) -> bool:
+        lock = syscall.lock
+        if not lock.held:
+            lock.note_acquired(process.pid, self.now, contended=False)
+            process.locks_held += 1
+            return self._finish_syscall(cpu, process, True, lock.acquire_cost)
+        holder = self.processes.get(lock.holder_pid)
+        holder_running = holder is not None and holder.state is ProcessState.RUNNING
+        if not holder_running:
+            lock.holder_preempted_encounters += 1
+            self.trace.emit(
+                self.now,
+                "spin.holder_preempted",
+                lock=lock.name,
+                pid=process.pid,
+                holder=lock.holder_pid,
+            )
+        process.spinning_on = lock
+        lock.spinners.append(process)
+        state = self._cpu[cpu]
+        state.segment_kind = "spin"
+        state.segment_started = self.now
+        self._mark(cpu, "spin")
+        self.trace.emit(
+            self.now, "spin.wait", lock=lock.name, pid=process.pid, cpu=cpu
+        )
+        return False
+
+    def _sys_spin_release(
+        self, cpu: int, process: Process, syscall: sc.SpinRelease
+    ) -> bool:
+        lock = syscall.lock
+        lock.note_released(process.pid, self.now)
+        process.locks_held -= 1
+        if process.locks_held < 0:
+            raise SimulationError(
+                f"process {process.pid} released more spinlocks than held"
+            )
+        # Hand off to the longest-spinning process that is on a CPU now.
+        if lock.spinners:
+            grantee = lock.spinners.pop(0)
+            gcpu = grantee.cpu
+            if gcpu is None or grantee.state is not ProcessState.RUNNING:
+                raise SimulationError(
+                    "spinner list contained a process that is not running"
+                )
+            gstate = self._cpu[gcpu]
+            elapsed = self.now - gstate.segment_started
+            grantee.stats.spin_time += elapsed
+            lock.total_spin_time += elapsed
+            grantee.spinning_on = None
+            lock.note_acquired(grantee.pid, self.now, contended=True)
+            grantee.locks_held += 1
+            grantee.pending_syscall = None
+            grantee.syscall_result = True
+            self._mark(gcpu, "busy")
+            gstate.segment_kind = "micro"
+            gstate.segment_started = self.now
+            gstate.segment_event = self.engine.schedule(
+                lock.handoff_cost, lambda: self._micro_done(gcpu), "spin-handoff"
+            )
+        return self._finish_syscall(cpu, process, None, lock.release_cost)
+
+    def _sys_mutex_acquire(
+        self, cpu: int, process: Process, syscall: sc.MutexAcquire
+    ) -> bool:
+        mutex = syscall.mutex
+        if not mutex.held:
+            mutex.note_acquired(process.pid, contended=False)
+            return self._finish_syscall(cpu, process, True, mutex.acquire_cost)
+        mutex.waiters.append(process)
+        self._block_current(cpu, f"mutex:{mutex.name}")
+        return False
+
+    def _sys_mutex_release(
+        self, cpu: int, process: Process, syscall: sc.MutexRelease
+    ) -> bool:
+        mutex = syscall.mutex
+        mutex.note_released(process.pid)
+        if mutex.waiters:
+            waiter = mutex.waiters.pop(0)
+            mutex.note_acquired(waiter.pid, contended=True)
+            waiter.pending_syscall = None
+            waiter.syscall_result = True
+            self._wake(waiter)
+        return self._finish_syscall(cpu, process, None, mutex.release_cost)
+
+    def _sys_sem_wait(self, cpu: int, process: Process, syscall: sc.SemWait) -> bool:
+        sem = syscall.sem
+        sem.waits += 1
+        if sem.count > 0:
+            sem.count -= 1
+            return self._finish_syscall(cpu, process, None, sem.wait_cost)
+        sem.waiters.append(process)
+        self._block_current(cpu, f"sem:{sem.name}")
+        return False
+
+    def _sys_sem_post(self, cpu: int, process: Process, syscall: sc.SemPost) -> bool:
+        sem = syscall.sem
+        sem.posts += 1
+        if sem.waiters:
+            waiter = sem.waiters.pop(0)
+            waiter.pending_syscall = None
+            waiter.syscall_result = None
+            self._wake(waiter)
+        else:
+            sem.count += 1
+        return self._finish_syscall(cpu, process, None, sem.post_cost)
+
+    def _sys_barrier_wait(
+        self, cpu: int, process: Process, syscall: sc.BarrierWait
+    ) -> bool:
+        barrier = syscall.barrier
+        if len(barrier.waiters) + 1 == barrier.parties:
+            barrier.generation += 1
+            barrier.trips += 1
+            generation = barrier.generation
+            waiters, barrier.waiters = barrier.waiters, []
+            for waiter in waiters:
+                waiter.pending_syscall = None
+                waiter.syscall_result = generation
+                self._wake(waiter)
+            return self._finish_syscall(cpu, process, generation, barrier.wait_cost)
+        barrier.waiters.append(process)
+        self._block_current(cpu, f"barrier:{barrier.name}")
+        return False
+
+    def _sys_cond_wait(self, cpu: int, process: Process, syscall: sc.CondWait) -> bool:
+        cond = syscall.cond
+        mutex = cond.mutex
+        if mutex.holder_pid != process.pid:
+            raise SimulationError(
+                f"CondWait by process {process.pid} without holding {mutex.name!r}"
+            )
+        mutex.note_released(process.pid)
+        if mutex.waiters:
+            waiter = mutex.waiters.pop(0)
+            mutex.note_acquired(waiter.pid, contended=True)
+            waiter.pending_syscall = None
+            waiter.syscall_result = True
+            self._wake(waiter)
+        cond.waiters.append(process)
+        self._block_current(cpu, f"cond:{cond.name}")
+        return False
+
+    def _wake_cond_waiter(self, cond: Any, waiter: Process) -> None:
+        """Move a condvar waiter to the mutex (Mesa semantics)."""
+        mutex = cond.mutex
+        waiter.pending_syscall = None
+        waiter.syscall_result = True
+        if not mutex.held:
+            mutex.note_acquired(waiter.pid, contended=True)
+            self._wake(waiter)
+        else:
+            # Stays blocked, now on the mutex queue; wait returns when the
+            # mutex is handed over.
+            waiter.block_reason = f"mutex:{mutex.name}"
+            mutex.waiters.append(waiter)
+
+    def _sys_cond_signal(
+        self, cpu: int, process: Process, syscall: sc.CondSignal
+    ) -> bool:
+        cond = syscall.cond
+        cond.signals += 1
+        if cond.waiters:
+            self._wake_cond_waiter(cond, cond.waiters.pop(0))
+        return self._finish_syscall(cpu, process, None, cond.wait_cost)
+
+    def _sys_cond_broadcast(
+        self, cpu: int, process: Process, syscall: sc.CondBroadcast
+    ) -> bool:
+        cond = syscall.cond
+        cond.broadcasts += 1
+        waiters, cond.waiters = cond.waiters, []
+        for waiter in waiters:
+            self._wake_cond_waiter(cond, waiter)
+        return self._finish_syscall(cpu, process, None, cond.wait_cost)
+
+    def _sys_sleep(self, cpu: int, process: Process, syscall: sc.Sleep) -> bool:
+        duration = syscall.duration
+        process.pending_syscall = None
+        process.syscall_result = None
+        self._block_current(cpu, "sleep")
+        self.engine.schedule(
+            max(duration, self.config.sleep_cost),
+            lambda: self._wake(process),
+            "sleep-wake",
+        )
+        return False
+
+    def _sys_wait_signal(
+        self, cpu: int, process: Process, syscall: sc.WaitSignal
+    ) -> bool:
+        if process.pending_signals:
+            payload = process.pending_signals.pop(0)
+            return self._finish_syscall(cpu, process, payload, self.config.signal_cost)
+        process.waiting_signal = True
+        process.stats.suspensions += 1
+        process.pending_syscall = None
+        self._block_current(cpu, "signal")
+        return False
+
+    def _sys_send_signal(
+        self, cpu: int, process: Process, syscall: sc.SendSignal
+    ) -> bool:
+        target = self.processes.get(syscall.pid)
+        process.stats.signals_sent += 1
+        if target is None or not target.alive:
+            return self._finish_syscall(cpu, process, False, self.config.signal_cost)
+        if target.waiting_signal:
+            target.waiting_signal = False
+            target.syscall_result = syscall.payload
+            self._wake(target)
+        else:
+            target.pending_signals.append(syscall.payload)
+        self.trace.emit(
+            self.now, "kernel.signal", src=process.pid, dst=syscall.pid
+        )
+        return self._finish_syscall(cpu, process, True, self.config.signal_cost)
+
+    def _sys_fork(self, cpu: int, process: Process, syscall: sc.Fork) -> bool:
+        child = self.spawn(
+            syscall.program,
+            name=syscall.name,
+            app_id=process.app_id,
+            controllable=process.controllable,
+            daemon=syscall.daemon,
+            ppid=process.pid,
+            cache_footprint=process.cache_footprint,
+        )
+        return self._finish_syscall(cpu, process, child.pid, self.config.fork_cost)
+
+    def _sys_exit(self, cpu: int, process: Process, syscall: sc.Exit) -> bool:
+        self._exit_current(cpu)
+        return False
+
+    def _sys_wait_pid(self, cpu: int, process: Process, syscall: sc.WaitPid) -> bool:
+        target = self.processes.get(syscall.pid)
+        if target is None:
+            return self._finish_syscall(cpu, process, False, self.config.yield_cost)
+        if not target.alive:
+            return self._finish_syscall(cpu, process, True, self.config.yield_cost)
+        if target.pid == process.pid:
+            raise SimulationError(f"process {process.pid} waiting on itself")
+        target.join_waiters.append(process)
+        self._block_current(cpu, f"waitpid:{target.pid}")
+        return False
+
+    def _sys_yield(self, cpu: int, process: Process, syscall: sc.Yield) -> bool:
+        process.pending_syscall = None
+        process.syscall_result = None
+        yielded = self._undispatch(cpu)
+        yielded.state = ProcessState.READY
+        yielded.ready_since = self.now
+        self.policy.enqueue(yielded, "yield")
+        self.trace.emit(self.now, "kernel.yield", pid=yielded.pid, cpu=cpu)
+        self._request_dispatch()
+        return False
+
+    def _sys_get_runnable(
+        self, cpu: int, process: Process, syscall: sc.GetRunnableInfo
+    ) -> bool:
+        snapshot = self.runnable_snapshot()
+        alive = sum(1 for p in self.processes.values() if p.alive)
+        cost = (
+            self.config.getrunnable_base_cost
+            + self.config.getrunnable_per_process_cost * alive
+        )
+        return self._finish_syscall(cpu, process, snapshot, cost)
+
+    def _sys_get_process_table(
+        self, cpu: int, process: Process, syscall: sc.GetProcessTable
+    ) -> bool:
+        table = [p.info() for p in self.processes.values() if p.alive]
+        cost = (
+            self.config.getrunnable_base_cost
+            + self.config.getrunnable_per_process_cost * len(table)
+        )
+        return self._finish_syscall(cpu, process, table, cost)
+
+    def _sys_set_no_preempt(
+        self, cpu: int, process: Process, syscall: sc.SetNoPreempt
+    ) -> bool:
+        process.no_preempt = syscall.flag
+        process.pending_syscall = None
+        process.syscall_result = None
+        if not syscall.flag and process.deferred_preempt:
+            process.deferred_preempt = False
+            if self.policy.has_waiting(cpu):
+                self._preempt(cpu, reason="deferred")
+                return False
+        return True
+
+    def _sys_channel_send(
+        self, cpu: int, process: Process, syscall: sc.ChannelSend
+    ) -> bool:
+        channel: Channel = syscall.channel
+        if channel.full:
+            channel.send_waiters.append((process, syscall.message))
+            self._block_current(cpu, f"chan-send:{channel.name}")
+            return False
+        channel.messages.append(syscall.message)
+        channel.sends += 1
+        if channel.recv_waiters:
+            receiver = channel.recv_waiters.pop(0)
+            receiver.pending_syscall = None
+            receiver.syscall_result = channel.messages.popleft()
+            channel.receives += 1
+            self._wake(receiver)
+        return self._finish_syscall(cpu, process, None, self.config.channel_op_cost)
+
+    def _sys_channel_receive(
+        self, cpu: int, process: Process, syscall: sc.ChannelReceive
+    ) -> bool:
+        channel: Channel = syscall.channel
+        if channel.messages:
+            message = channel.messages.popleft()
+            channel.receives += 1
+            if channel.send_waiters:
+                sender, pending = channel.send_waiters.pop(0)
+                channel.messages.append(pending)
+                channel.sends += 1
+                sender.pending_syscall = None
+                sender.syscall_result = None
+                self._wake(sender)
+            return self._finish_syscall(
+                cpu, process, message, self.config.channel_op_cost
+            )
+        channel.recv_waiters.append(process)
+        self._block_current(cpu, f"chan-recv:{channel.name}")
+        return False
+
+    _HANDLERS = {
+        sc.Compute: _sys_compute,
+        sc.SpinAcquire: _sys_spin_acquire,
+        sc.SpinRelease: _sys_spin_release,
+        sc.MutexAcquire: _sys_mutex_acquire,
+        sc.MutexRelease: _sys_mutex_release,
+        sc.SemWait: _sys_sem_wait,
+        sc.SemPost: _sys_sem_post,
+        sc.BarrierWait: _sys_barrier_wait,
+        sc.CondWait: _sys_cond_wait,
+        sc.CondSignal: _sys_cond_signal,
+        sc.CondBroadcast: _sys_cond_broadcast,
+        sc.Sleep: _sys_sleep,
+        sc.WaitSignal: _sys_wait_signal,
+        sc.SendSignal: _sys_send_signal,
+        sc.Fork: _sys_fork,
+        sc.Exit: _sys_exit,
+        sc.WaitPid: _sys_wait_pid,
+        sc.Yield: _sys_yield,
+        sc.GetRunnableInfo: _sys_get_runnable,
+        sc.GetProcessTable: _sys_get_process_table,
+        sc.SetNoPreempt: _sys_set_no_preempt,
+        sc.ChannelSend: _sys_channel_send,
+        sc.ChannelReceive: _sys_channel_receive,
+    }

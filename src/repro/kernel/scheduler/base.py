@@ -1,0 +1,70 @@
+"""Scheduler policy interface.
+
+The kernel owns all mechanism (dispatch, preemption, accounting); a policy
+decides *which* process runs *where* and for how long.  The interface is
+deliberately small:
+
+* :meth:`enqueue` -- a process became runnable (new / preempted /
+  unblocked / yielded).
+* :meth:`dequeue` -- the kernel has an idle processor; return the process
+  to run there, or ``None`` to leave it idle.
+* :meth:`has_waiting` -- would a preemption of the current process on this
+  processor let someone else run?  (Consulted at quantum expiry; if nothing
+  is waiting the kernel just extends the current process's quantum.)
+* :meth:`quantum_for` -- per-dispatch quantum, default the machine's.
+
+Policies may also keep per-process state via the spawn/exit notifications
+and may schedule their own events through ``self.kernel.engine`` (the gang
+scheduler uses this for its epoch ticks).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class SchedulerPolicy(ABC):
+    """Base class for kernel scheduling policies."""
+
+    def __init__(self) -> None:
+        self.kernel: Optional["Kernel"] = None
+
+    def attach(self, kernel: "Kernel") -> None:
+        """Bind the policy to a kernel.  Called once by the kernel ctor."""
+        if self.kernel is not None:
+            raise RuntimeError("scheduler policy is already attached to a kernel")
+        self.kernel = kernel
+
+    @abstractmethod
+    def enqueue(self, process: "Process", reason: str) -> None:
+        """Add a runnable process to the policy's queue(s).
+
+        *reason* is one of ``"new"``, ``"preempted"``, ``"unblocked"``,
+        ``"yield"`` -- policies may treat them differently (e.g. decay
+        scheduling boosts unblocked processes).
+        """
+
+    @abstractmethod
+    def dequeue(self, cpu: int) -> Optional["Process"]:
+        """Pick the next process to run on processor *cpu*, removing it
+        from the queue.  ``None`` leaves the processor idle."""
+
+    @abstractmethod
+    def has_waiting(self, cpu: int) -> bool:
+        """True if some queued process could run on processor *cpu* now."""
+
+    def quantum_for(self, process: "Process", cpu: int) -> int:
+        """Quantum for this dispatch; defaults to the machine-wide value."""
+        assert self.kernel is not None, "policy used before attach()"
+        return self.kernel.machine.config.quantum
+
+    def on_process_spawn(self, process: "Process") -> None:
+        """Notification: a process entered the system (before enqueue)."""
+
+    def on_process_exit(self, process: "Process") -> None:
+        """Notification: a process terminated."""

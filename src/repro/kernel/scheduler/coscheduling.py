@@ -1,0 +1,169 @@
+"""Coscheduling (gang scheduling), after Ousterhout (Section 3).
+
+"All runnable processes of an application are scheduled to run on the
+processors at the same time ... effectively, the system context switches
+between applications."
+
+Implementation: processes are grouped into *gangs* by application id
+(processes without an application each form a singleton gang).  A global
+epoch timer ticks every ``epoch`` microseconds; on each tick the policy
+rotates to the next gang that has runnable processes, force-preempts every
+processor running a process outside that gang, and dispatches the gang.
+Processors left over after the gang is placed are filled with runnable
+processes from other gangs in arrival order (Ousterhout's "alternate
+selection", which avoids idling the machine when gangs are small).
+
+As the paper notes, coscheduling fixes the spinlock and producer/consumer
+problems (the whole gang runs together) but not context-switch overhead or
+cache corruption -- each epoch still reloads every cache.  The ablation
+benchmarks show exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.scheduler.base import SchedulerPolicy
+
+
+class CoschedulingScheduler(SchedulerPolicy):
+    """Gang scheduler with round-robin epochs over applications."""
+
+    def __init__(self, epoch: Optional[int] = None) -> None:
+        super().__init__()
+        self._epoch_override = epoch
+        # gang key -> FIFO of READY members of that gang
+        self._gangs: "OrderedDict[str, Deque[Process]]" = OrderedDict()
+        self._active_gang: Optional[str] = None
+        self._rotation: Deque[str] = deque()
+        self._started = False
+
+    # -- gang bookkeeping ------------------------------------------------
+
+    @staticmethod
+    def _gang_key(process: Process) -> str:
+        if process.app_id is not None:
+            return f"app:{process.app_id}"
+        return f"pid:{process.pid}"
+
+    def _ensure_gang(self, key: str) -> Deque[Process]:
+        gang = self._gangs.get(key)
+        if gang is None:
+            gang = deque()
+            self._gangs[key] = gang
+            self._rotation.append(key)
+        return gang
+
+    @property
+    def epoch(self) -> int:
+        if self._epoch_override is not None:
+            return self._epoch_override
+        return self.kernel.machine.config.quantum
+
+    @property
+    def active_gang(self) -> Optional[str]:
+        return self._active_gang
+
+    # -- policy interface -------------------------------------------------
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        # The first epoch tick starts the rotation.
+        kernel.engine.schedule(self.epoch, self._epoch_tick, "gang-epoch")
+        self._started = True
+
+    def enqueue(self, process: Process, reason: str) -> None:
+        if process.state is not ProcessState.READY:
+            raise ValueError(
+                f"enqueue of process {process.pid} in state {process.state.name}"
+            )
+        self._ensure_gang(self._gang_key(process)).append(process)
+
+    def dequeue(self, cpu: int) -> Optional[Process]:
+        # Prefer the active gang; fall back to alternate selection.
+        if self._active_gang is None:
+            self._advance_gang()
+        candidate = self._pop_ready(self._active_gang)
+        if candidate is not None:
+            return candidate
+        for key in list(self._rotation):
+            candidate = self._pop_ready(key)
+            if candidate is not None:
+                return candidate
+        return None
+
+    def has_waiting(self, cpu: int) -> bool:
+        # Between epoch ticks a gang keeps its processors: the quantum timer
+        # only switches processes when the runner is *not* in the active
+        # gang (i.e. an alternate-selection filler) and a gang member waits.
+        current = self.kernel.machine.processors[cpu].current
+        if current is not None and self._gang_key(current) == self._active_gang:
+            return False
+        gang = self._gangs.get(self._active_gang or "")
+        return bool(gang) and any(
+            p.state is ProcessState.READY for p in gang
+        )
+
+    def on_process_exit(self, process: Process) -> None:
+        key = self._gang_key(process)
+        gang = self._gangs.get(key)
+        if gang is not None:
+            try:
+                gang.remove(process)
+            except ValueError:
+                pass
+
+    def quantum_for(self, process: Process, cpu: int) -> int:
+        return self.epoch
+
+    # -- internals ----------------------------------------------------------
+
+    def _pop_ready(self, key: Optional[str]) -> Optional[Process]:
+        if key is None:
+            return None
+        gang = self._gangs.get(key)
+        if not gang:
+            return None
+        for _ in range(len(gang)):
+            process = gang.popleft()
+            if process.state is ProcessState.READY:
+                return process
+            # Stale entries (terminated while queued) are dropped.
+            if process.state is not ProcessState.TERMINATED:
+                gang.append(process)
+        return None
+
+    def _gang_has_runnable(self, key: str) -> bool:
+        if any(
+            p.state is ProcessState.READY for p in self._gangs.get(key, ())
+        ):
+            return True
+        # A gang also counts as runnable if one of its members is running.
+        for processor in self.kernel.machine.processors:
+            current = processor.current
+            if current is not None and self._gang_key(current) == key:
+                return True
+        return False
+
+    def _advance_gang(self) -> None:
+        """Rotate to the next gang with runnable members."""
+        for _ in range(len(self._rotation)):
+            self._rotation.rotate(-1)
+            key = self._rotation[0] if self._rotation else None
+            if key is not None and self._gang_has_runnable(key):
+                self._active_gang = key
+                return
+        self._active_gang = self._rotation[0] if self._rotation else None
+
+    def _epoch_tick(self) -> None:
+        self._advance_gang()
+        kernel = self.kernel
+        if self._active_gang is not None:
+            for processor in kernel.machine.processors:
+                current = processor.current
+                if current is not None and self._gang_key(current) != self._active_gang:
+                    kernel.force_preempt(processor.cpu_id)
+            kernel.request_dispatch()
+        kernel.engine.schedule(self.epoch, self._epoch_tick, "gang-epoch")

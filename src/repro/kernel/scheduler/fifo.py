@@ -1,0 +1,57 @@
+"""The UMAX-like baseline: one shared FIFO run queue, round-robin quanta.
+
+This is the discipline the paper's Figure 1 discussion assumes:
+"unscheduled processes are placed on a FIFO queue, and the more unscheduled
+processes there are, the longer it takes for a preempted process to get to
+the front of the queue and be rescheduled."
+
+Preempted, yielded, newly created, and newly unblocked processes all join
+the tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.scheduler.base import SchedulerPolicy
+
+
+class FifoScheduler(SchedulerPolicy):
+    """Single shared FIFO run queue (the paper's baseline kernel policy)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque[Process] = deque()
+
+    def enqueue(self, process: Process, reason: str) -> None:
+        if process.state is not ProcessState.READY:
+            raise ValueError(
+                f"enqueue of process {process.pid} in state {process.state.name}"
+            )
+        self._queue.append(process)
+
+    def dequeue(self, cpu: int) -> Optional[Process]:
+        # Skip any process that terminated while queued (defensive; the
+        # kernel never leaves terminated processes queued today).
+        while self._queue:
+            process = self._queue.popleft()
+            if process.state is ProcessState.READY:
+                return process
+        return None
+
+    def has_waiting(self, cpu: int) -> bool:
+        return any(p.state is ProcessState.READY for p in self._queue)
+
+    def queue_length(self) -> int:
+        """Current run-queue length (diagnostics and tests)."""
+        return len(self._queue)
+
+    def on_process_exit(self, process: Process) -> None:
+        # Cheap removal attempt keeps the queue tidy if a queued process is
+        # ever terminated externally.
+        try:
+            self._queue.remove(process)
+        except ValueError:
+            pass

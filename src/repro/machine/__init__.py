@@ -1,0 +1,24 @@
+"""The simulated shared-memory multiprocessor.
+
+This package models the hardware substrate the paper ran on (a 16-processor
+Encore Multimax): a set of identical processors sharing memory, each with a
+private cache.  The cache is modelled at the working-set level (a *warmth*
+fraction per process per processor) rather than per-line -- sufficient to
+reproduce the paper's point 4 of Section 2 (cache corruption under
+time-slicing) while keeping million-event runs fast.
+
+Public API
+----------
+
+- :class:`~repro.machine.config.MachineConfig` -- all tunables in one place.
+- :class:`~repro.machine.machine.Machine` -- the processor array.
+- :class:`~repro.machine.processor.Processor` -- one CPU.
+- :class:`~repro.machine.cache.CacheModel` -- per-processor cache warmth.
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.cache import CacheModel
+from repro.machine.processor import Processor
+from repro.machine.machine import Machine
+
+__all__ = ["MachineConfig", "CacheModel", "Processor", "Machine"]

@@ -1,0 +1,116 @@
+"""Working-set cache model.
+
+The paper's fourth source of degradation (Section 2) is cache corruption:
+when a processor is multiplexed between applications, each reschedule must
+refetch the working set through 50-100-cycle misses.
+
+We model this at the working-set level.  For each processor we track, per
+process, a *warmth* value in [0, 1]: the fraction of that process's working
+set currently resident in the processor's cache.
+
+* On dispatch, the incoming process pays ``cold_penalty * (1 - warmth)``.
+* While a process runs for time ``t`` its warmth rises linearly, reaching 1
+  after ``warmup_time`` of execution.
+* While a process runs, every *other* process's warmth on that processor
+  decays linearly, reaching 0 after ``purge_time`` of foreign execution.
+
+Linear ramps (rather than exponentials) keep the model integer-friendly and
+trivially testable while preserving the qualitative behaviour: a process that
+keeps its processor pays nothing; a process bounced between busy processors
+pays nearly the full reload every time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class CacheModel:
+    """Per-processor, per-process cache warmth tracking.
+
+    The model is owned by the kernel, which calls :meth:`reload_penalty`
+    when dispatching and :meth:`note_execution` when a process finishes a
+    stint on a processor.
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        cold_penalty: int,
+        warmup_time: int,
+        purge_time: int,
+        enabled: bool = True,
+    ) -> None:
+        if n_processors < 1:
+            raise ValueError("n_processors must be >= 1")
+        if warmup_time <= 0 or purge_time <= 0:
+            raise ValueError("warmup_time and purge_time must be positive")
+        if cold_penalty < 0:
+            raise ValueError("cold_penalty must be >= 0")
+        self.n_processors = n_processors
+        self.cold_penalty = cold_penalty
+        self.warmup_time = warmup_time
+        self.purge_time = purge_time
+        self.enabled = enabled
+        # _warmth[cpu][pid] -> fraction of pid's working set resident on cpu.
+        self._warmth: List[Dict[int, float]] = [{} for _ in range(n_processors)]
+
+    def warmth(self, cpu: int, pid: int) -> float:
+        """Current warmth of process *pid* on processor *cpu* (0 if unknown)."""
+        if not self.enabled:
+            return 1.0
+        return self._warmth[cpu].get(pid, 0.0)
+
+    def reload_penalty(self, cpu: int, pid: int) -> int:
+        """Cache-reload cost to charge when *pid* is dispatched on *cpu*."""
+        if not self.enabled:
+            return 0
+        return int(round(self.cold_penalty * (1.0 - self.warmth(cpu, pid))))
+
+    def note_execution(self, cpu: int, pid: int, ran_for: int) -> None:
+        """Record that *pid* executed on *cpu* for *ran_for* microseconds.
+
+        Warms *pid* up and cools every other process resident on *cpu*.
+        Processes whose warmth reaches zero are dropped from the table so it
+        stays small over long runs.
+        """
+        if not self.enabled or ran_for <= 0:
+            return
+        table = self._warmth[cpu]
+        gained = ran_for / self.warmup_time
+        lost = ran_for / self.purge_time
+        dead: List[int] = []
+        for other_pid, warmth in table.items():
+            if other_pid == pid:
+                continue
+            cooled = warmth - lost
+            if cooled <= 0.0:
+                dead.append(other_pid)
+            else:
+                table[other_pid] = cooled
+        for other_pid in dead:
+            del table[other_pid]
+        table[pid] = min(1.0, table.get(pid, 0.0) + gained)
+
+    def evict_process(self, pid: int) -> None:
+        """Forget a terminated process on every processor."""
+        for table in self._warmth:
+            table.pop(pid, None)
+
+    def resident_processes(self, cpu: int) -> Dict[int, float]:
+        """Snapshot of warmth on *cpu* (for tests and diagnostics)."""
+        return dict(self._warmth[cpu])
+
+    def warmest_cpu(self, pid: int) -> int | None:
+        """Processor where *pid* is warmest, or None if cold everywhere.
+
+        Used by the affinity scheduling policy (Lazowska & Squillante).
+        """
+        best_cpu = None
+        best_warmth = 0.0
+        for cpu in range(self.n_processors):
+            warmth = self._warmth[cpu].get(pid, 0.0)
+            if warmth > best_warmth:
+                best_warmth = warmth
+                best_cpu = cpu
+        return best_cpu

@@ -1,0 +1,69 @@
+"""Machine configuration.
+
+One dataclass holds every hardware and low-level-kernel tunable so that
+experiments can describe themselves completely ("this run used
+``MachineConfig(n_processors=16, quantum=ms(100))``") and ablations can sweep
+a single field.
+
+Defaults approximate the paper's platform: a 16-processor Encore Multimax
+running UMAX 4.2 (a BSD variant) with ~100 ms scheduling quanta.  Cache
+parameters are set so that a full working-set reload costs a few
+milliseconds, consistent with the paper's discussion of 50-100 cycle miss
+penalties on then-emerging scalable machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import units
+
+
+@dataclass
+class MachineConfig:
+    """Hardware and kernel-mechanism parameters for a simulated machine.
+
+    Attributes:
+        n_processors: number of identical CPUs (paper: 16).
+        quantum: scheduling time slice in microseconds (paper-era BSD: ~100 ms).
+        context_switch_cost: direct cost of a context switch (register save /
+            restore, queue manipulation), charged to the incoming process.
+        dispatch_latency: extra cost charged when the kernel moves a process
+            from the run queue onto a processor (models run-queue locking).
+        cache_cold_penalty: time to refetch a process's *entire* working set
+            into a cold cache.  The actual charge on dispatch is
+            ``cache_cold_penalty * (1 - warmth)``.
+        cache_warmup_time: CPU time a process must run for its warmth to go
+            from 0 to 1 on a processor.
+        cache_purge_time: CPU time of *other* processes on the same processor
+            that takes a resident process's warmth from 1 to 0.
+        cache_affinity_enabled: if False the cache model is bypassed entirely
+            (warmth treated as always 1); used by ablations to isolate cache
+            effects from queueing effects.
+    """
+
+    n_processors: int = 16
+    quantum: int = field(default_factory=lambda: units.ms(100))
+    context_switch_cost: int = field(default_factory=lambda: units.us(200))
+    dispatch_latency: int = field(default_factory=lambda: units.us(50))
+    cache_cold_penalty: int = field(default_factory=lambda: units.ms(4))
+    cache_warmup_time: int = field(default_factory=lambda: units.ms(20))
+    cache_purge_time: int = field(default_factory=lambda: units.ms(40))
+    cache_affinity_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {self.n_processors}")
+        if self.quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {self.quantum}")
+        for name in (
+            "context_switch_cost",
+            "dispatch_latency",
+            "cache_cold_penalty",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.cache_warmup_time <= 0:
+            raise ValueError("cache_warmup_time must be positive")
+        if self.cache_purge_time <= 0:
+            raise ValueError("cache_purge_time must be positive")

@@ -1,0 +1,61 @@
+"""The machine: a processor array plus its cache model.
+
+:class:`Machine` ties together :class:`~repro.machine.config.MachineConfig`,
+the :class:`~repro.machine.processor.Processor` array, and the
+:class:`~repro.machine.cache.CacheModel`.  It is pure state -- the kernel
+drives all transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.machine.cache import CacheModel
+from repro.machine.config import MachineConfig
+from repro.machine.processor import Processor
+
+
+class Machine:
+    """A simulated shared-memory multiprocessor."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        self.processors: List[Processor] = [
+            Processor(cpu_id) for cpu_id in range(self.config.n_processors)
+        ]
+        self.cache = CacheModel(
+            n_processors=self.config.n_processors,
+            cold_penalty=self.config.cache_cold_penalty,
+            warmup_time=self.config.cache_warmup_time,
+            purge_time=self.config.cache_purge_time,
+            enabled=self.config.cache_affinity_enabled,
+        )
+
+    @property
+    def n_processors(self) -> int:
+        return self.config.n_processors
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self.processors)
+
+    def idle_processors(self) -> List[Processor]:
+        """Processors with nothing dispatched, in index order."""
+        return [p for p in self.processors if p.idle]
+
+    def busy_processors(self) -> List[Processor]:
+        """Processors currently running a process, in index order."""
+        return [p for p in self.processors if not p.idle]
+
+    def utilization_summary(self) -> dict:
+        """Aggregate utilization breakdown across all processors.
+
+        Returns a dict with total ``busy``, ``spin``, ``overhead`` and
+        ``idle`` microseconds, used by the experiment reports.
+        """
+        summary = {"busy": 0, "spin": 0, "overhead": 0, "idle": 0}
+        for processor in self.processors:
+            summary["busy"] += processor.busy_time
+            summary["spin"] += processor.spin_time
+            summary["overhead"] += processor.overhead_time
+            summary["idle"] += processor.idle_time
+        return summary

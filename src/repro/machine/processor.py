@@ -1,0 +1,87 @@
+"""A single simulated processor.
+
+A :class:`Processor` is a slot the kernel dispatches processes onto, plus
+bookkeeping for utilization accounting.  It holds no scheduling logic; the
+kernel and its pluggable policy decide what runs where.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Processor:
+    """One CPU of the simulated machine.
+
+    Attributes:
+        cpu_id: index of this processor in the machine, 0-based.
+        current: the process control block currently dispatched here, or
+            ``None`` when idle.  Typed as ``Any`` to avoid a circular import
+            with the kernel package; it is always a
+            :class:`repro.kernel.process.Process` in practice.
+        busy_time: accumulated microseconds doing useful work.
+        spin_time: accumulated microseconds burnt busy-waiting on spinlocks.
+        overhead_time: accumulated context-switch / dispatch / cache-reload
+            microseconds.
+        idle_time: accumulated microseconds with no process dispatched.
+    """
+
+    __slots__ = (
+        "cpu_id",
+        "current",
+        "busy_time",
+        "spin_time",
+        "overhead_time",
+        "idle_time",
+        "_last_accounted",
+        "dispatches",
+    )
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self.current: Optional[Any] = None
+        self.busy_time = 0
+        self.spin_time = 0
+        self.overhead_time = 0
+        self.idle_time = 0
+        self._last_accounted = 0
+        self.dispatches = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when no process is dispatched on this processor."""
+        return self.current is None
+
+    def account(self, now: int, kind: str) -> None:
+        """Attribute the time since the last accounting mark to *kind*.
+
+        *kind* is one of ``"busy"``, ``"spin"``, ``"overhead"``, ``"idle"``.
+        The kernel calls this at every transition so that the utilization
+        breakdown in the experiment tables sums exactly to elapsed time.
+        """
+        elapsed = now - self._last_accounted
+        if elapsed < 0:
+            raise ValueError(
+                f"time went backwards on cpu {self.cpu_id}: "
+                f"{self._last_accounted} -> {now}"
+            )
+        if elapsed:
+            if kind == "busy":
+                self.busy_time += elapsed
+            elif kind == "spin":
+                self.spin_time += elapsed
+            elif kind == "overhead":
+                self.overhead_time += elapsed
+            elif kind == "idle":
+                self.idle_time += elapsed
+            else:
+                raise ValueError(f"unknown accounting kind {kind!r}")
+        self._last_accounted = now
+
+    def total_accounted(self) -> int:
+        """Sum of all accounted time buckets."""
+        return self.busy_time + self.spin_time + self.overhead_time + self.idle_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pid = getattr(self.current, "pid", None)
+        return f"<Processor {self.cpu_id} running={pid}>"

@@ -1,0 +1,14 @@
+"""Measurement utilities: step time series, speedup math, report tables."""
+
+from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
+from repro.metrics.speedup import speedup, efficiency
+from repro.metrics.report import format_table, format_run_header
+
+__all__ = [
+    "StepSeries",
+    "runnable_series_from_trace",
+    "speedup",
+    "efficiency",
+    "format_table",
+    "format_run_header",
+]

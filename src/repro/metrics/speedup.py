@@ -1,0 +1,24 @@
+"""Speedup and efficiency, as the paper's figures report them.
+
+Speedup for an application at P processes is the single-process wall time
+divided by the wall time of the run under study (Figures 1 and 3 plot this
+against the number of processes, on a fixed 16-processor machine).
+"""
+
+from __future__ import annotations
+
+
+def speedup(t1: int, tp: int) -> float:
+    """Classic speedup: single-process time over parallel time."""
+    if t1 <= 0:
+        raise ValueError(f"t1 must be positive, got {t1}")
+    if tp <= 0:
+        raise ValueError(f"tp must be positive, got {tp}")
+    return t1 / tp
+
+
+def efficiency(t1: int, tp: int, n_processes: int) -> float:
+    """Speedup normalized by the process count."""
+    if n_processes < 1:
+        raise ValueError("n_processes must be >= 1")
+    return speedup(t1, tp) / n_processes

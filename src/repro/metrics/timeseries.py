@@ -1,0 +1,103 @@
+"""Step-function time series.
+
+The kernel emits a ``kernel.runnable`` trace record whenever the runnable
+census changes; :func:`runnable_series_from_trace` reconstructs the step
+series Figure 5 plots (total runnable processes over time, and per
+application).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import TraceLog
+
+
+class StepSeries:
+    """A right-continuous step function sampled at change points."""
+
+    def __init__(self, points: Optional[Iterable[Tuple[int, float]]] = None) -> None:
+        self._points: List[Tuple[int, float]] = []
+        if points is not None:
+            for time, value in points:
+                self.append(time, value)
+
+    def append(self, time: int, value: float) -> None:
+        """Record that the series takes *value* from *time* onward."""
+        if self._points and time < self._points[-1][0]:
+            raise ValueError(
+                f"non-monotonic time {time} after {self._points[-1][0]}"
+            )
+        if self._points and self._points[-1][0] == time:
+            self._points[-1] = (time, value)
+        else:
+            self._points.append((time, value))
+
+    @property
+    def points(self) -> List[Tuple[int, float]]:
+        return list(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def value_at(self, time: int) -> float:
+        """Series value at *time* (0 before the first point)."""
+        value = 0.0
+        for point_time, point_value in self._points:
+            if point_time > time:
+                break
+            value = point_value
+        return value
+
+    def sample(self, times: Iterable[int]) -> List[float]:
+        """Values at each of *times* (each resolved independently)."""
+        return [self.value_at(t) for t in times]
+
+    def maximum(self) -> float:
+        """Largest value the series ever takes (0 for an empty series)."""
+        return max((v for _, v in self._points), default=0.0)
+
+    def time_average(self, start: int, end: int) -> float:
+        """Mean value over ``[start, end)`` weighted by duration."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        total = 0.0
+        current = self.value_at(start)
+        last_time = start
+        for point_time, point_value in self._points:
+            if point_time <= start:
+                continue
+            if point_time >= end:
+                break
+            total += current * (point_time - last_time)
+            current = point_value
+            last_time = point_time
+        total += current * (end - last_time)
+        return total / (end - start)
+
+
+def runnable_series_from_trace(
+    trace: TraceLog,
+) -> Tuple[StepSeries, Dict[str, StepSeries]]:
+    """Rebuild Figure 5's series from ``kernel.runnable`` trace records.
+
+    Returns ``(total, per_app)`` where ``per_app`` maps application id to
+    its runnable-process step series.  Applications appear in ``per_app``
+    from their first nonzero count; a final zero is recorded when they
+    drop out of the census.
+    """
+    total = StepSeries()
+    per_app: Dict[str, StepSeries] = {}
+    for record in trace.records("kernel.runnable"):
+        counts: Dict[str, int] = record.data["per_app"]
+        total.append(record.time, record.data["total"])
+        for app_id, count in counts.items():
+            series = per_app.get(app_id)
+            if series is None:
+                series = StepSeries()
+                per_app[app_id] = series
+            series.append(record.time, count)
+        for app_id, series in per_app.items():
+            if app_id not in counts and series.points and series.points[-1][1] != 0:
+                series.append(record.time, 0)
+    return total, per_app

@@ -1,0 +1,28 @@
+"""Process control on *real* operating-system processes.
+
+Everything else in this repository simulates the paper's system; this
+package demonstrates the mechanism live, on the host OS, using
+``multiprocessing`` worker processes (Python threads cannot occupy multiple
+processors because of the GIL, so real processes are the faithful
+analogue of the paper's UMAX processes).
+
+The pieces map one-to-one onto the paper's design:
+
+- :class:`~repro.realsys.pool.ControlledPool` -- the modified threads
+  package: worker processes pull tasks from a shared queue and suspend /
+  resume themselves *between tasks* (the safe suspension point) to track a
+  target count.
+- :class:`~repro.realsys.controller.CentralController` -- the centralized
+  server: it periodically partitions the host's CPUs among all registered
+  pools using the same :func:`repro.core.policy.partition_processors`
+  the simulated server uses.
+- :mod:`~repro.realsys.tasks` -- picklable CPU-bound task functions.
+
+See ``examples/real_process_control.py`` for a live run.
+"""
+
+from repro.realsys.pool import ControlledPool
+from repro.realsys.controller import CentralController
+from repro.realsys.timeline import TimelineSampler
+
+__all__ = ["ControlledPool", "CentralController", "TimelineSampler"]

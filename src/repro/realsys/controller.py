@@ -1,0 +1,109 @@
+"""The centralized controller for real process pools.
+
+This is the paper's central server, run against live OS processes: a
+daemon thread that periodically partitions the host's processors among all
+registered :class:`~repro.realsys.pool.ControlledPool` instances -- using
+the *same* :func:`repro.core.policy.partition_processors` decision rule as
+the simulated server -- and pushes each pool its target.
+
+``reserve_cpus`` plays the role of the uncontrollable-application load the
+paper's server subtracts (Section 5): CPUs the controller must leave for
+the rest of the machine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policy import partition_processors
+from repro.realsys.pool import ControlledPool
+
+
+class CentralController:
+    """Periodically repartition host CPUs among registered pools."""
+
+    def __init__(
+        self,
+        interval: float = 0.25,
+        n_cpus: Optional[int] = None,
+        reserve_cpus: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if reserve_cpus < 0:
+            raise ValueError("reserve_cpus must be >= 0")
+        self.interval = interval
+        self.n_cpus = n_cpus if n_cpus is not None else (os.cpu_count() or 1)
+        self.reserve_cpus = reserve_cpus
+        self._pools: Dict[str, ControlledPool] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.updates = 0
+        #: (wall time, {pool: target}) after each update, for inspection.
+        self.history: List[Tuple[float, Dict[str, int]]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, pool: ControlledPool) -> None:
+        """Add a pool to the partition (the paper's 'register' message)."""
+        with self._lock:
+            if pool.name in self._pools:
+                raise ValueError(f"pool name {pool.name!r} already registered")
+            self._pools[pool.name] = pool
+        self.update_once()
+
+    def unregister(self, pool: ControlledPool) -> None:
+        """Remove a pool (application exit)."""
+        with self._lock:
+            self._pools.pop(pool.name, None)
+        self.update_once()
+
+    # -- the decision ------------------------------------------------------
+
+    def compute_targets(self) -> Dict[str, int]:
+        """One partitioning decision over the registered pools."""
+        with self._lock:
+            totals = {
+                name: pool.n_workers for name, pool in self._pools.items()
+            }
+        return partition_processors(self.n_cpus, self.reserve_cpus, totals)
+
+    def update_once(self) -> Dict[str, int]:
+        """Recompute and push targets immediately; returns the decision."""
+        targets = self.compute_targets()
+        with self._lock:
+            for name, target in targets.items():
+                pool = self._pools.get(name)
+                if pool is not None:
+                    pool.set_target(target)
+        self.updates += 1
+        self.history.append((time.monotonic(), dict(targets)))
+        return targets
+
+    # -- background loop -----------------------------------------------------
+
+    def start(self) -> None:
+        """Run the update loop on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("controller already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="pc-controller", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.update_once()

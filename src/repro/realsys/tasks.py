@@ -1,0 +1,55 @@
+"""Picklable CPU-bound task functions for the real-process demonstrator.
+
+Task functions must be importable top-level callables so that
+``multiprocessing`` can ship them to worker processes on any start method
+(fork, spawn, or forkserver).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def burn_cpu(iterations: int) -> int:
+    """Pure CPU burn; returns a checksum so results are verifiable."""
+    total = 0
+    for i in range(iterations):
+        total = (total * 31 + i) % 1_000_003
+    return total
+
+
+def sum_squares(n: int) -> int:
+    """Sum of squares below *n* (cheap, deterministic)."""
+    return sum(i * i for i in range(n))
+
+
+def matmul_block(size: int) -> int:
+    """A small dense matrix multiply on Python lists; returns a checksum."""
+    a = [[(i + j) % 7 for j in range(size)] for i in range(size)]
+    b = [[(i * j + 1) % 5 for j in range(size)] for i in range(size)]
+    total = 0
+    for i in range(size):
+        row = a[i]
+        for j in range(size):
+            acc = 0
+            for k in range(size):
+                acc += row[k] * b[k][j]
+            total = (total + acc) % 1_000_003
+    return total
+
+
+def merge_sorted(lists: Tuple[List[int], List[int]]) -> List[int]:
+    """Merge two sorted lists (the sort application's merge step)."""
+    left, right = lists
+    merged: List[int] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged

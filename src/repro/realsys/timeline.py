@@ -1,0 +1,96 @@
+"""Live runnable-worker timeline for real pools: Figure 5 on the host OS.
+
+A :class:`TimelineSampler` polls each registered pool's runnable-worker
+count on a daemon thread and records a step series per pool, so the
+real-process demonstrator can print the same runnable-vs-time picture the
+simulation produces for Figure 5.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.realsys.pool import ControlledPool
+
+
+class TimelineSampler:
+    """Sample pools' runnable-worker counts over wall-clock time."""
+
+    def __init__(self, interval: float = 0.05) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._pools: Dict[str, ControlledPool] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._t0: Optional[float] = None
+        #: pool name -> list of (seconds-since-start, runnable) samples.
+        self.samples: Dict[str, List[Tuple[float, int]]] = {}
+
+    def watch(self, pool: ControlledPool) -> None:
+        """Add a pool to the sampling set (before or after start)."""
+        with self._lock:
+            self._pools[pool.name] = pool
+            self.samples.setdefault(pool.name, [])
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._t0 = time.monotonic()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="timeline-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        now = time.monotonic() - (self._t0 or 0.0)
+        with self._lock:
+            for name, pool in self._pools.items():
+                self.samples[name].append((now, pool.runnable_workers))
+
+    def total_series(self) -> List[Tuple[float, int]]:
+        """Summed runnable workers across pools, merged on sample index."""
+        with self._lock:
+            streams = [list(s) for s in self.samples.values()]
+        if not streams:
+            return []
+        length = min(len(s) for s in streams)
+        merged = []
+        for index in range(length):
+            t = streams[0][index][0]
+            merged.append((t, sum(s[index][1] for s in streams)))
+        return merged
+
+    def render(self, width: int = 60) -> str:
+        """A small ASCII table of the sampled timeline."""
+        total = self.total_series()
+        if not total:
+            return "(no samples)"
+        step = max(len(total) // width, 1)
+        lines = ["t(s)   total  " + "  ".join(sorted(self.samples))]
+        with self._lock:
+            names = sorted(self.samples)
+            streams = {name: list(self.samples[name]) for name in names}
+        for index in range(0, len(total), step):
+            t, total_count = total[index]
+            per_pool = "  ".join(
+                str(streams[name][index][1]) if index < len(streams[name]) else "-"
+                for name in names
+            )
+            lines.append(f"{t:5.2f}  {total_count:5d}  {per_pool}")
+        return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""The discrete-event engine.
+
+The engine owns the simulation clock and an event calendar (a binary heap).
+Events are plain callbacks scheduled for an absolute or relative time; ties
+are broken by insertion order so runs are exactly reproducible.
+
+Nothing in this module knows about processors, processes, or scheduling --
+those live in :mod:`repro.machine` and :mod:`repro.kernel`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven incorrectly.
+
+    Examples: scheduling an event in the past, or running an engine that has
+    been stopped with a fatal error.
+    """
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    The engine never removes cancelled events from the heap eagerly; it
+    simply skips them when they surface.  This makes :meth:`cancel` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.callback = None  # drop the reference so closures can be collected
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.callback is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} seq={self.seq} {self.label!r} {state}>"
+
+
+class Engine:
+    """A deterministic discrete-event simulation loop.
+
+    Usage::
+
+        engine = Engine()
+        engine.schedule(100, lambda: print("at t=100us"))
+        engine.run()
+
+    Determinism guarantees:
+
+    * integer microsecond clock -- no float tie ambiguity;
+    * FIFO among same-time events (insertion order);
+    * no wall-clock or OS entropy is consulted anywhere.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: list[EventHandle] = []
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (diagnostics / loop guards)."""
+        return self._events_fired
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the calendar."""
+        return sum(1 for event in self._heap if event.pending)
+
+    def schedule(
+        self, delay: int, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule *callback* to run *delay* microseconds from now.
+
+        Returns an :class:`EventHandle` that may be cancelled any time before
+        the event fires.  A zero delay schedules the event for the current
+        time, after all events already scheduled for this time.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}us in the past")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(
+        self, time: int, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule *callback* at absolute simulation *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}us, already at t={self._now}us"
+            )
+        handle = EventHandle(time, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def step(self) -> bool:
+        """Fire the single next event.
+
+        Returns ``True`` if an event was fired, ``False`` if the calendar is
+        empty (skipping over cancelled events does not count as firing).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled or event.callback is None:
+                continue
+            self._now = event.time
+            callback = event.callback
+            event.callback = None  # the event is consumed; free the closure
+            self._events_fired += 1
+            callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the calendar is empty.
+
+        *max_events*, if given, bounds the number of events fired in this
+        call; exceeding it raises :class:`SimulationError` (a runaway-loop
+        guard for tests).  Returns the number of events fired.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self.step():
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+        finally:
+            self._running = False
+        return fired
+
+    def run_until(self, time: int, max_events: Optional[int] = None) -> int:
+        """Run events up to and including absolute *time*.
+
+        The clock is advanced to *time* even if the calendar empties earlier.
+        Returns the number of events fired.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run until t={time}us, already at t={self._now}us"
+            )
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                upcoming = self._next_pending_time()
+                if upcoming is None or upcoming > time:
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+        finally:
+            self._running = False
+        self._now = max(self._now, time)
+        return fired
+
+    def _next_pending_time(self) -> Optional[int]:
+        """Time of the next live event, discarding cancelled heap entries."""
+        while self._heap and not self._heap[0].pending:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

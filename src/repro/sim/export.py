@@ -1,0 +1,60 @@
+"""Trace import/export as JSON Lines.
+
+Long experiment runs produce traces worth keeping (Figure 5's series, the
+preemption evidence trail); these helpers serialize a
+:class:`~repro.sim.trace.TraceLog` to a ``.jsonl`` file -- one record per
+line -- and load it back.  Only JSON-representable payload values survive a
+round trip; others are stringified on export (the kernel's payloads are
+all ints/strings/dicts, so in practice traces round-trip exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.sim.trace import TraceLog
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def dump_trace(trace: TraceLog, path: Union[str, Path]) -> int:
+    """Write every record of *trace* to *path* (JSONL).  Returns the count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in trace:
+            payload = {
+                "t": record.time,
+                "cat": record.category,
+                "data": {k: _jsonable(v) for k, v in record.data.items()},
+            }
+            handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> TraceLog:
+    """Read a JSONL trace written by :func:`dump_trace`."""
+    path = Path(path)
+    trace = TraceLog()
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                trace.emit(payload["t"], payload["cat"], **payload["data"])
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line"
+                ) from exc
+    return trace

@@ -1,0 +1,46 @@
+"""Time units for the simulator.
+
+All simulation time is kept as ``int`` microseconds.  Integer time makes the
+event calendar exactly deterministic (no floating-point tie ambiguity) and is
+plenty of resolution for scheduling phenomena measured in milliseconds.
+
+The helpers here are conversion functions, not types: simulation code simply
+passes ``int`` values around and uses these for readable literals, e.g.
+``quantum=ms(100)`` or ``poll_interval=seconds(6)``.
+"""
+
+from __future__ import annotations
+
+#: One microsecond, the base tick of the simulator.
+MICROSECOND = 1
+
+#: Microseconds per millisecond.
+MILLISECOND = 1_000
+
+#: Microseconds per second.
+SECOND = 1_000_000
+
+
+def us(value: float) -> int:
+    """Express *value* microseconds as integer simulation time."""
+    return int(round(value))
+
+
+def ms(value: float) -> int:
+    """Express *value* milliseconds as integer simulation time."""
+    return int(round(value * MILLISECOND))
+
+
+def seconds(value: float) -> int:
+    """Express *value* seconds as integer simulation time."""
+    return int(round(value * SECOND))
+
+
+def to_seconds(time_us: int) -> float:
+    """Convert integer simulation time to float seconds (for reporting)."""
+    return time_us / SECOND
+
+
+def to_ms(time_us: int) -> float:
+    """Convert integer simulation time to float milliseconds (for reporting)."""
+    return time_us / MILLISECOND

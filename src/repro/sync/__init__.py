@@ -1,0 +1,36 @@
+"""Synchronization primitives for simulated processes.
+
+These objects are *passive state*: they hold ownership and waiter lists, and
+the kernel (:mod:`repro.kernel.kernel`) performs all transitions when it
+services the corresponding syscalls.  Keeping them passive avoids circular
+imports and makes each primitive unit-testable in isolation.
+
+Two families matter for the paper:
+
+* :class:`~repro.sync.spinlock.SpinLock` -- busy-waiting locks.  A process
+  that fails to acquire one *keeps its processor and burns cycles*.  When the
+  lock holder is preempted, every spinner wastes its whole quantum -- this is
+  degradation source #1 in Section 2 of the paper.
+* Blocking primitives (:class:`~repro.sync.mutex.Mutex`,
+  :class:`~repro.sync.semaphore.Semaphore`,
+  :class:`~repro.sync.barrier.Barrier`,
+  :class:`~repro.sync.condvar.ConditionVariable`) -- waiters give up the
+  processor and sit on the primitive's queue.
+"""
+
+from repro.sync.spinlock import SpinLock
+from repro.sync.mutex import Mutex
+from repro.sync.semaphore import Semaphore
+from repro.sync.barrier import Barrier
+from repro.sync.condvar import ConditionVariable
+from repro.sync.spinbarrier import SpinBarrier, spin_barrier_wait
+
+__all__ = [
+    "SpinLock",
+    "Mutex",
+    "Semaphore",
+    "Barrier",
+    "ConditionVariable",
+    "SpinBarrier",
+    "spin_barrier_wait",
+]

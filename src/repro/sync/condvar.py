@@ -1,0 +1,30 @@
+"""Condition variable state.
+
+Mesa-style semantics, always used with a :class:`~repro.sync.mutex.Mutex`:
+``CondWait`` atomically releases the mutex and blocks; a signalled process
+re-acquires the mutex (possibly blocking again on it) before its wait
+returns.  The kernel implements these steps when servicing the syscalls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.sync.mutex import Mutex
+
+
+class ConditionVariable:
+    """State for one condition variable (kernel performs transitions)."""
+
+    __slots__ = ("name", "mutex", "waiters", "signals", "broadcasts", "wait_cost")
+
+    def __init__(self, mutex: Mutex, name: str = "condvar", wait_cost: int = 5) -> None:
+        self.name = name
+        self.mutex = mutex
+        self.waiters: List[Any] = []
+        self.signals = 0
+        self.broadcasts = 0
+        self.wait_cost = wait_cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionVariable {self.name!r} waiters={len(self.waiters)}>"

@@ -1,0 +1,64 @@
+"""Blocking mutual-exclusion lock state.
+
+Unlike a :class:`~repro.sync.spinlock.SpinLock`, a process that fails to
+acquire a :class:`Mutex` blocks: it leaves its processor and waits on the
+mutex's FIFO queue.  The kernel wakes the head waiter on release and hands
+it ownership directly (no barging), so the lock is fair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class Mutex:
+    """State for one blocking lock."""
+
+    __slots__ = (
+        "name",
+        "acquire_cost",
+        "release_cost",
+        "holder_pid",
+        "waiters",
+        "acquisitions",
+        "contended_acquisitions",
+    )
+
+    def __init__(self, name: str = "mutex", acquire_cost: int = 5, release_cost: int = 5):
+        self.name = name
+        self.acquire_cost = acquire_cost
+        self.release_cost = release_cost
+        self.holder_pid: Optional[int] = None
+        self.waiters: List[Any] = []
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    @property
+    def held(self) -> bool:
+        """True while some process owns the mutex."""
+        return self.holder_pid is not None
+
+    def note_acquired(self, pid: int, contended: bool) -> None:
+        """Record ownership transfer to *pid* (kernel hook)."""
+        if self.holder_pid is not None:
+            raise RuntimeError(
+                f"mutex {self.name!r}: acquire by {pid} while held by {self.holder_pid}"
+            )
+        self.holder_pid = pid
+        self.acquisitions += 1
+        if contended:
+            self.contended_acquisitions += 1
+
+    def note_released(self, pid: int) -> None:
+        """Record that *pid* gave up ownership (kernel hook)."""
+        if self.holder_pid != pid:
+            raise RuntimeError(
+                f"mutex {self.name!r}: release by {pid} but held by {self.holder_pid}"
+            )
+        self.holder_pid = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Mutex {self.name!r} holder={self.holder_pid} "
+            f"waiters={len(self.waiters)}>"
+        )

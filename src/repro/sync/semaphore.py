@@ -1,0 +1,34 @@
+"""Counting semaphore state.
+
+Used by the producer/consumer synthetic application that reproduces
+degradation source #2 of Section 2 (consumers scheduled while the producer
+is preempted find nothing to do).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+class Semaphore:
+    """State for one counting semaphore (kernel performs transitions)."""
+
+    __slots__ = ("name", "count", "waiters", "wait_cost", "post_cost", "posts", "waits")
+
+    def __init__(self, name: str = "semaphore", initial: int = 0,
+                 wait_cost: int = 5, post_cost: int = 5) -> None:
+        if initial < 0:
+            raise ValueError(f"initial semaphore count must be >= 0, got {initial}")
+        self.name = name
+        self.count = initial
+        self.waiters: List[Any] = []
+        self.wait_cost = wait_cost
+        self.post_cost = post_cost
+        self.posts = 0
+        self.waits = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Semaphore {self.name!r} count={self.count} "
+            f"waiters={len(self.waiters)}>"
+        )

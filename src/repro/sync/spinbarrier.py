@@ -1,0 +1,80 @@
+"""Busy-wait (spinning) barrier, 1989-style.
+
+Era threads packages commonly implemented barriers by polling a shared
+counter -- cheap when every party has its own processor, catastrophic when
+a straggler is preempted and the pollers burn their quanta (Section 2,
+point 2).  The blocking :class:`~repro.sync.barrier.Barrier` is the
+well-behaved alternative; the mechanisms experiment contrasts them.
+
+Unlike the kernel-backed primitives, a spin barrier needs no syscall
+support: arrival and release are plain shared-memory updates (atomic
+between simulation yields), and waiting is a ``Compute`` polling loop.
+Use :func:`spin_barrier_wait` from inside a program::
+
+    def worker(sb):
+        for _ in range(phases):
+            yield Compute(work)
+            yield from spin_barrier_wait(sb)
+"""
+
+from __future__ import annotations
+
+
+class SpinBarrier:
+    """Shared state of one busy-wait barrier.
+
+    Attributes:
+        parties: processes per rendezvous.
+        poll_gap: CPU burnt per poll iteration while waiting.
+        trips: completed rendezvous (statistics).
+        poll_time: total CPU burnt polling across all waiters (statistics;
+            this is the waste the paper's point 2 describes).
+    """
+
+    __slots__ = ("name", "parties", "poll_gap", "arrived", "generation",
+                 "trips", "poll_time")
+
+    def __init__(self, parties: int, name: str = "spinbarrier",
+                 poll_gap: int = 200) -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        if poll_gap < 1:
+            raise ValueError(f"poll_gap must be >= 1, got {poll_gap}")
+        self.name = name
+        self.parties = parties
+        self.poll_gap = poll_gap
+        self.arrived = 0
+        self.generation = 0
+        self.trips = 0
+        self.poll_time = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SpinBarrier {self.name!r} {self.arrived}/{self.parties} "
+            f"gen={self.generation}>"
+        )
+
+
+def spin_barrier_wait(barrier: SpinBarrier):
+    """Program fragment: arrive at *barrier* and busy-wait for the rest.
+
+    The last arrival flips the generation, releasing every poller at its
+    next poll.  Yields ``Compute`` bursts while waiting -- the waiting
+    process stays runnable and occupies its processor, exactly like the
+    spin-barriers of era threads packages.
+    """
+    # Imported here, not at module top: repro.kernel.syscalls itself
+    # imports repro.sync (for the primitive types), so a top-level import
+    # would be circular.
+    from repro.kernel import syscalls as sc
+
+    my_generation = barrier.generation
+    barrier.arrived += 1
+    if barrier.arrived == barrier.parties:
+        barrier.arrived = 0
+        barrier.generation += 1
+        barrier.trips += 1
+        return
+    while barrier.generation == my_generation:
+        barrier.poll_time += barrier.poll_gap
+        yield sc.Compute(barrier.poll_gap)

@@ -1,0 +1,38 @@
+"""The task-queue threads package (Brown University Threads analogue).
+
+The paper's applications are written against a user-level threads package:
+the programmer splits work into *tasks* (user-level threads), worker
+*processes* pick tasks off a shared queue and run them, and -- after the
+paper's modification -- the package transparently suspends and resumes
+worker processes at safe points (between tasks) to track the process-count
+target published by the central server.  "The interface to the threads
+commands was not changed when process control was added" (Section 5); here,
+the same :class:`ThreadsPackage` runs applications with control enabled or
+disabled via configuration only.
+
+Public API
+----------
+
+- :class:`~repro.threads.task.Task` and :func:`~repro.threads.task.compute_task`
+- :class:`~repro.threads.task.SpawnTask` -- in-task dynamic task creation
+- :class:`~repro.threads.taskqueue.TaskQueue`
+- :class:`~repro.threads.package.ThreadsPackage` /
+  :class:`~repro.threads.package.ThreadsPackageConfig`
+- :class:`~repro.threads.control.ControlState` -- per-application process
+  control bookkeeping.
+"""
+
+from repro.threads.task import SpawnTask, Task, compute_task
+from repro.threads.taskqueue import TaskQueue
+from repro.threads.control import ControlState
+from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
+
+__all__ = [
+    "Task",
+    "SpawnTask",
+    "compute_task",
+    "TaskQueue",
+    "ControlState",
+    "ThreadsPackage",
+    "ThreadsPackageConfig",
+]

@@ -1,0 +1,64 @@
+"""Per-application process-control state.
+
+One :class:`ControlState` is shared (simulated shared memory) by all worker
+processes of an application.  Workers consult and update it at safe
+suspension points; the mutations between simulation yields are atomic, just
+as short lock-protected updates are on the real machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+#: Signal payloads used by the suspension protocol.
+RESUME = "pc-resume"
+FINISH = "pc-finish"
+
+
+class ControlState:
+    """Shared control block for one application's worker processes.
+
+    Attributes:
+        target: the number of runnable processes the server most recently
+            told this application to use (``None`` until the first poll).
+        runnable_workers: workers currently not suspended by control.
+        suspended: pids of suspended workers, FIFO ("kept on a queue",
+            Section 5).
+        last_poll: simulation time of the last server poll.
+        polls / suspensions / resumes: statistics for the reports.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("an application needs at least one worker")
+        self.target: Optional[int] = None
+        self.runnable_workers = n_workers
+        self.suspended: Deque[int] = deque()
+        self.last_poll: Optional[int] = None
+        self.polls = 0
+        self.suspensions = 0
+        self.resumes = 0
+
+    def should_suspend(self) -> bool:
+        """True when this worker ought to park itself at a safe point.
+
+        Never suspends the last runnable worker, mirroring the server's
+        guarantee that "each application has at least one runnable process
+        to avoid starvation" -- defence in depth on the application side.
+        """
+        if self.target is None:
+            return False
+        return self.runnable_workers > max(self.target, 1)
+
+    def should_resume(self) -> bool:
+        """True when a suspended peer ought to be woken."""
+        if self.target is None or not self.suspended:
+            return False
+        return self.runnable_workers < self.target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ControlState target={self.target} "
+            f"runnable={self.runnable_workers} suspended={len(self.suspended)}>"
+        )

@@ -1,0 +1,367 @@
+"""The modified threads package: worker processes + transparent process
+control.
+
+This is the paper's Section 5 artifact.  An application hands the package a
+stream of tasks (via ``initial_tasks`` / ``on_task_done``); the package runs
+``n_processes`` worker processes that loop:
+
+1. **safe suspension point** -- poll the server if the poll interval has
+   elapsed; suspend self / resume a peer to track the target;
+2. dequeue a task (semaphore + spinlock-guarded queue);
+3. run the task, forwarding its syscalls, handling dynamic
+   :class:`~repro.threads.task.SpawnTask` requests;
+4. on completion, ask the application for follow-on tasks (this is how
+   phased algorithms express their barriers in the task-queue model).
+
+"The process monitoring, suspension, and resumption is done when the
+application returns control to the threads package when a thread is
+suspended or has finished execution" -- i.e. exactly between tasks, which
+is when suspension is provably safe (Section 4.1).
+
+Process control is *transparent*: applications never see it.  It is turned
+on or off purely by :class:`ThreadsPackageConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional
+
+from repro.kernel import Kernel
+from repro.kernel import syscalls as sc
+from repro.kernel.ipc import Channel, ControlBoard
+from repro.sim import units
+from repro.sync import Semaphore
+from repro.threads.control import FINISH, RESUME, ControlState
+from repro.threads.task import SpawnTask, Task
+from repro.threads.taskqueue import POISON, TaskQueue
+
+#: Control modes.
+CONTROL_OFF = None
+CONTROL_CENTRALIZED = "centralized"
+CONTROL_DECENTRALIZED = "decentralized"
+
+
+@dataclass
+class ThreadsPackageConfig:
+    """Configuration of the threads package (per application).
+
+    Attributes:
+        control: ``None`` (unmodified package), ``"centralized"`` (poll the
+            server's control board), or ``"decentralized"`` (each
+            application scans the process table itself -- the design the
+            paper tried and rejected in Section 4.2).
+        board: the server's :class:`ControlBoard` (centralized mode).
+        server_channel: registration channel to the server, if any.
+        poll_interval: how often workers check the server's answer
+            (Section 5: "every 6 seconds in the current implementation").
+        poll_cost: CPU cost of one poll round-trip (socket IPC).
+        queue_op_cost: CPU cost of one queue operation while holding the
+            queue lock -- the length of the package's critical section.
+        task_overhead: per-task bookkeeping outside the lock.
+        use_no_preempt_flags: bracket queue-lock critical sections with
+            ``SetNoPreempt`` (for experiments with the Zahorjan scheduler).
+        idle_spin: when the task queue is empty, workers busy-wait polling
+            it (with exponential backoff) instead of blocking -- the
+            behaviour of 1989-era threads packages, and the producer/
+            consumer waste of Section 2 point 2.  ``False`` switches to a
+            blocking semaphore (a modern package; ablation).
+        spin_poll_gap / spin_poll_max_gap: idle-poll backoff bounds.
+    """
+
+    control: Optional[str] = CONTROL_OFF
+    board: Optional[ControlBoard] = None
+    server_channel: Optional[Channel] = None
+    poll_interval: int = field(default_factory=lambda: units.seconds(6))
+    poll_cost: int = 300
+    queue_op_cost: int = 25
+    task_overhead: int = 30
+    use_no_preempt_flags: bool = False
+    idle_spin: bool = True
+    spin_poll_gap: int = 500
+    spin_poll_max_gap: int = field(default_factory=lambda: units.ms(8))
+
+    def __post_init__(self) -> None:
+        if self.control not in (
+            CONTROL_OFF,
+            CONTROL_CENTRALIZED,
+            CONTROL_DECENTRALIZED,
+        ):
+            raise ValueError(f"unknown control mode {self.control!r}")
+        if self.control == CONTROL_CENTRALIZED and self.board is None:
+            raise ValueError("centralized control requires a ControlBoard")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+
+class ThreadsPackage:
+    """Run one application's tasks on a pool of worker processes."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        app: Any,
+        n_processes: int,
+        config: Optional[ThreadsPackageConfig] = None,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+        self.kernel = kernel
+        self.app = app
+        self.app_id: str = app.app_id
+        self.n_processes = n_processes
+        self.config = config or ThreadsPackageConfig()
+
+        self.queue = TaskQueue(f"{self.app_id}.queue")
+        self.control = ControlState(n_processes)
+        self.work_sem = Semaphore(f"{self.app_id}.work", initial=0)
+
+        self.worker_pids: List[int] = []
+        self.started_at: Optional[int] = None
+        self.finished_at: Optional[int] = None
+        self.finished = False
+        self._outstanding = 0
+        self.tasks_completed = 0
+        #: CPU time burnt polling an empty queue (the busy-wait package's
+        #: producer/consumer waste; approximate, in microseconds).
+        self.idle_poll_time = 0
+
+    # ------------------------------------------------------------------
+    # Launching
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker processes (call at the application's arrival).
+
+        The root worker (index 0) registers with the server and enqueues
+        the application's initial tasks before entering the common loop.
+        """
+        if self.worker_pids:
+            raise RuntimeError(f"application {self.app_id!r} already started")
+        self.started_at = self.kernel.now
+        controllable = self.config.control is not None
+        for index in range(self.n_processes):
+            process = self.kernel.spawn(
+                self._worker_program(index),
+                name=f"{self.app_id}.w{index}",
+                app_id=self.app_id,
+                controllable=controllable,
+                ppid=self.worker_pids[0] if self.worker_pids else 0,
+                cache_footprint=getattr(self.app, "cache_footprint", 1.0),
+            )
+            self.worker_pids.append(process.pid)
+
+    @property
+    def wall_time(self) -> Optional[int]:
+        """Completion time minus start time, once finished."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    # ------------------------------------------------------------------
+    # Worker program
+    # ------------------------------------------------------------------
+
+    def _worker_program(self, index: int):
+        config = self.config
+        if index == 0:
+            if config.server_channel is not None and config.control is not None:
+                yield sc.ChannelSend(
+                    config.server_channel,
+                    ("register", self.app_id, self.worker_pids[0]),
+                )
+            initial = list(self.app.initial_tasks())
+            if not initial:
+                raise ValueError(
+                    f"application {self.app_id!r} produced no initial tasks"
+                )
+            yield from self._enqueue_tasks(initial)
+        backoff = config.spin_poll_gap
+        while True:
+            yield from self._control_point(index)
+            if config.idle_spin:
+                # Busy-wait package: peek (free shared-memory read), take
+                # the lock only when there might be work, back off while
+                # the queue stays empty.
+                item = None
+                if len(self.queue):
+                    item = yield from self._locked_try_pop()
+                if item is None:
+                    self.idle_poll_time += backoff
+                    yield sc.Compute(backoff)
+                    backoff = min(backoff * 2, config.spin_poll_max_gap)
+                    continue
+                backoff = config.spin_poll_gap
+            else:
+                yield sc.SemWait(self.work_sem)
+                item = yield from self._locked_pop()
+            if item is POISON:
+                return
+            yield from self._run_task(item)
+
+    # -- queue protocol (spinlock-guarded critical sections) ---------------
+
+    def _locked_push(self, items: Iterable[object]):
+        config = self.config
+        if config.use_no_preempt_flags:
+            yield sc.SetNoPreempt(True)
+        yield sc.SpinAcquire(self.queue.lock)
+        for item in items:
+            self.queue.push(item)
+        yield sc.Compute(config.queue_op_cost)
+        yield sc.SpinRelease(self.queue.lock)
+        if config.use_no_preempt_flags:
+            yield sc.SetNoPreempt(False)
+
+    def _locked_pop(self):
+        config = self.config
+        if config.use_no_preempt_flags:
+            yield sc.SetNoPreempt(True)
+        yield sc.SpinAcquire(self.queue.lock)
+        yield sc.Compute(config.queue_op_cost)
+        item = self.queue.pop()
+        yield sc.SpinRelease(self.queue.lock)
+        if config.use_no_preempt_flags:
+            yield sc.SetNoPreempt(False)
+        if item is None:
+            raise RuntimeError(
+                f"{self.app_id}: semaphore/queue mismatch (empty pop)"
+            )
+        return item
+
+    def _locked_try_pop(self):
+        """Like :meth:`_locked_pop` but returns None on a lost race."""
+        config = self.config
+        if config.use_no_preempt_flags:
+            yield sc.SetNoPreempt(True)
+        yield sc.SpinAcquire(self.queue.lock)
+        yield sc.Compute(config.queue_op_cost)
+        item = self.queue.pop()
+        yield sc.SpinRelease(self.queue.lock)
+        if config.use_no_preempt_flags:
+            yield sc.SetNoPreempt(False)
+        return item
+
+    def _enqueue_tasks(self, tasks: List[Task]):
+        self._outstanding += len(tasks)
+        yield from self._locked_push(tasks)
+        if not self.config.idle_spin:
+            for _ in tasks:
+                yield sc.SemPost(self.work_sem)
+
+    # -- task execution ------------------------------------------------------
+
+    def _run_task(self, task: Task):
+        if self.config.task_overhead:
+            yield sc.Compute(self.config.task_overhead)
+        body = task.body()
+        result: Any = None
+        while True:
+            try:
+                op = body.send(result)
+            except StopIteration:
+                break
+            if isinstance(op, SpawnTask):
+                yield from self._enqueue_tasks([op.task])
+                result = None
+            else:
+                result = yield op
+        self.tasks_completed += 1
+        follow = list(self.app.on_task_done(task))
+        if follow:
+            yield from self._enqueue_tasks(follow)
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            yield from self._finish()
+
+    def _finish(self):
+        """Run by whichever worker completes the last task."""
+        self.finished = True
+        self.finished_at = self.kernel.now
+        self.kernel.trace.emit(
+            self.finished_at,
+            "app.finished",
+            app_id=self.app_id,
+            wall_time=self.wall_time,
+        )
+        # Wake every suspended worker so it can consume its poison task.
+        while self.control.suspended:
+            pid = self.control.suspended.popleft()
+            self.control.runnable_workers += 1
+            yield sc.SendSignal(pid, FINISH)
+        yield from self._locked_push([POISON] * self.n_processes)
+        if not self.config.idle_spin:
+            for _ in range(self.n_processes):
+                yield sc.SemPost(self.work_sem)
+
+    # ------------------------------------------------------------------
+    # Process control (the safe suspension point)
+    # ------------------------------------------------------------------
+
+    def _control_point(self, index: int):
+        config = self.config
+        control = self.control
+        if config.control is None or self.finished:
+            return
+        now = self.kernel.now
+        if control.last_poll is None or now - control.last_poll >= config.poll_interval:
+            control.last_poll = now
+            yield from self._poll()
+        if control.should_resume():
+            pid = control.suspended.popleft()
+            control.runnable_workers += 1
+            control.resumes += 1
+            self.kernel.trace.emit(
+                self.kernel.now, "pc.resume", app_id=self.app_id, pid=pid
+            )
+            yield sc.SendSignal(pid, RESUME)
+        while not self.finished and control.should_suspend():
+            my_pid = self.worker_pids[index]
+            control.runnable_workers -= 1
+            control.suspended.append(my_pid)
+            control.suspensions += 1
+            self.kernel.trace.emit(
+                self.kernel.now, "pc.suspend", app_id=self.app_id, pid=my_pid
+            )
+            payload = yield sc.WaitSignal()
+            self.kernel.trace.emit(
+                self.kernel.now,
+                "pc.wake",
+                app_id=self.app_id,
+                pid=my_pid,
+                payload=payload,
+            )
+            # The waker already re-counted us among the runnable workers.
+
+    def _poll(self):
+        """Ask the server (or the process table) for our current target."""
+        config = self.config
+        control = self.control
+        if config.control == CONTROL_CENTRALIZED:
+            yield sc.Compute(config.poll_cost)
+            target = config.board.read(self.app_id)
+        else:
+            # Decentralized: scan the process table and partition locally.
+            # This is the design Section 4.2 rejects as "too inefficient";
+            # the ablation benchmarks quantify why.
+            from repro.core.policy import partition_processors
+
+            table = yield sc.GetProcessTable()
+            yield sc.Compute(config.poll_cost)
+            uncontrolled = sum(
+                1 for row in table if row.runnable and not row.controllable
+            )
+            app_totals: dict = {}
+            for row in table:
+                if row.controllable and row.app_id is not None:
+                    app_totals[row.app_id] = app_totals.get(row.app_id, 0) + 1
+            targets = partition_processors(
+                self.kernel.machine.n_processors, uncontrolled, app_totals
+            )
+            target = targets.get(self.app_id)
+        if target is not None:
+            control.target = target
+            control.polls += 1
+            self.kernel.trace.emit(
+                self.kernel.now, "pc.poll", app_id=self.app_id, target=target
+            )

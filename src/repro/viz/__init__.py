@@ -1,0 +1,15 @@
+"""Plain-text visualization for experiment output.
+
+The paper's figures are line plots and bar charts; these helpers render
+their analogues as ASCII so every harness can show its result in a
+terminal and in the benchmark logs.
+
+- :func:`~repro.viz.ascii.step_plot` -- a step series over time (Figure 5).
+- :func:`~repro.viz.ascii.multi_step_plot` -- several labelled series.
+- :func:`~repro.viz.ascii.bar_chart` -- horizontal bars (Figure 4).
+- :func:`~repro.viz.ascii.curve_plot` -- y-vs-x curves (Figures 1 and 3).
+"""
+
+from repro.viz.ascii import bar_chart, curve_plot, multi_step_plot, step_plot
+
+__all__ = ["step_plot", "multi_step_plot", "bar_chart", "curve_plot"]

@@ -1,0 +1,153 @@
+"""ASCII chart rendering.
+
+Deliberately dependency-free: the experiment harnesses run in test logs
+and CI output, where matplotlib has no place.  All charts are returned as
+strings; nothing prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.timeseries import StepSeries
+
+
+def step_plot(
+    series: StepSeries,
+    until: int,
+    width: int = 72,
+    height: int = 8,
+    y_max: Optional[float] = None,
+    marker: str = "#",
+    y_label: str = "",
+) -> str:
+    """Render one step series as a filled ASCII area plot.
+
+    *until* is the time horizon (microseconds); the x axis is divided into
+    *width* buckets sampled at bucket start.
+    """
+    if until <= 0:
+        raise ValueError("until must be positive")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    step = max(until // width, 1)
+    samples = [series.value_at(t) for t in range(0, until, step)]
+    top = y_max if y_max is not None else max(samples + [1.0])
+    if top <= 0:
+        top = 1.0
+    lines: List[str] = []
+    for row in range(height, 0, -1):
+        threshold = top * row / height
+        cells = "".join(marker if v >= threshold else " " for v in samples)
+        label = f"{threshold:6.1f} |"
+        lines.append(label + cells)
+    lines.append("       +" + "-" * len(samples))
+    span_s = until / 1e6
+    footer = f"        0s{'':{max(len(samples) - 12, 1)}}{span_s:.0f}s"
+    lines.append(footer)
+    if y_label:
+        lines.insert(0, f"[{y_label}]")
+    return "\n".join(lines)
+
+
+def multi_step_plot(
+    series_by_label: Mapping[str, StepSeries],
+    until: int,
+    width: int = 72,
+    height: int = 8,
+    y_max: Optional[float] = None,
+) -> str:
+    """Overlay several step series, one letter marker per label."""
+    if not series_by_label:
+        raise ValueError("no series given")
+    step = max(until // width, 1)
+    labels = list(series_by_label)
+    markers = {label: label[0].upper() for label in labels}
+    samples: Dict[str, List[float]] = {
+        label: [series.value_at(t) for t in range(0, until, step)]
+        for label, series in series_by_label.items()
+    }
+    top = y_max
+    if top is None:
+        top = max(max(vals + [1.0]) for vals in samples.values())
+    if top <= 0:
+        top = 1.0
+    n_cols = len(next(iter(samples.values())))
+    lines: List[str] = []
+    for row in range(height, 0, -1):
+        threshold = top * row / height
+        cells = []
+        for col in range(n_cols):
+            cell = " "
+            for label in labels:  # later labels overdraw earlier ones
+                if samples[label][col] >= threshold:
+                    cell = markers[label]
+            cells.append(cell)
+        lines.append(f"{threshold:6.1f} |" + "".join(cells))
+    lines.append("       +" + "-" * n_cols)
+    legend = "  ".join(f"{markers[label]}={label}" for label in labels)
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if not values:
+        raise ValueError("no values given")
+    biggest = max(v for _, v in values)
+    if biggest <= 0:
+        biggest = 1.0
+    label_width = max(len(label) for label, _ in values)
+    lines = []
+    for label, value in values:
+        bar = "#" * max(1, int(round(width * value / biggest))) if value > 0 else ""
+        lines.append(f"{label:>{label_width}} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def curve_plot(
+    curves: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter/step plot of y-vs-x curves (e.g. speedup vs processes).
+
+    Each curve is a sequence of (x, y) points; points are drawn with the
+    curve's first letter, later curves overdraw earlier ones.
+    """
+    if not curves:
+        raise ValueError("no curves given")
+    all_points = [p for pts in curves.values() for p in pts]
+    if not all_points:
+        raise ValueError("curves contain no points")
+    x_min = min(x for x, _ in all_points)
+    x_max = max(x for x, _ in all_points)
+    y_max = max(y for _, y in all_points)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max <= 0:
+        y_max = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, points in curves.items():
+        marker = label[0].upper()
+        for x, y in points:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = height - 1 - int(min(y, y_max) / y_max * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    for index, row in enumerate(grid):
+        y_value = y_max * (height - 1 - index) / (height - 1)
+        lines.append(f"{y_value:6.1f} |" + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        {x_min:g}{'':{max(width - 12, 1)}}{x_max:g} {x_label}")
+    legend = "  ".join(f"{label[0].upper()}={label}" for label in curves)
+    lines.append("        " + legend)
+    if y_label:
+        lines.insert(0, f"[{y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Workload scenarios and the experiment runner.
+
+A :class:`~repro.workloads.scenario.Scenario` describes one run of the
+simulated machine: applications (with process counts and arrival times),
+optional stand-alone uncontrollable processes, the kernel scheduler, and
+the process-control mode.  :func:`~repro.workloads.runner.run_scenario`
+executes it and returns a :class:`~repro.workloads.runner.ScenarioResult`
+with per-application wall times, the runnable-process time series
+(Figure 5), processor utilization breakdowns, and lock statistics.
+"""
+
+from repro.workloads.scenario import AppSpec, Scenario, UncontrolledSpec
+from repro.workloads.runner import AppResult, ScenarioResult, run_scenario
+from repro.workloads.schedulers import make_scheduler, SCHEDULER_NAMES
+
+__all__ = [
+    "AppSpec",
+    "UncontrolledSpec",
+    "Scenario",
+    "AppResult",
+    "ScenarioResult",
+    "run_scenario",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]

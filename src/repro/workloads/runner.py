@@ -1,0 +1,223 @@
+"""Execute a scenario and collect results.
+
+``run_scenario`` is the single entry point every experiment and benchmark
+uses: it wires engine + machine + kernel + scheduler + server + packages,
+schedules arrivals, runs to completion, and reduces the trace into the
+numbers the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.server import ProcessControlServer
+from repro.kernel import Kernel, syscalls as sc
+from repro.machine import Machine
+from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
+from repro.sim import Engine, TraceLog
+from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
+from repro.workloads.scenario import Scenario
+from repro.workloads.schedulers import make_scheduler
+
+#: Trace categories the runner needs for its result reduction.
+RUNNER_TRACE_CATEGORIES = (
+    "kernel.runnable",
+    "app.finished",
+    "server.update",
+    "pc.poll",
+    "pc.suspend",
+    "pc.resume",
+)
+
+
+@dataclass
+class AppResult:
+    """Per-application outcome of one scenario run (times in us)."""
+
+    app_id: str
+    n_processes: int
+    arrival: int
+    finished_at: int
+    wall_time: int
+    tasks_completed: int
+    polls: int
+    suspensions: int
+    resumes: int
+    queue_lock_contended: int
+    queue_lock_holder_preempted: int
+    queue_lock_spin_time: int
+    #: CPU actually consumed by this application's workers (includes the
+    #: busy-wait idle polling, which idle_poll_time approximates).
+    cpu_time: int = 0
+    idle_poll_time: int = 0
+    spin_time: int = 0
+    preemptions: int = 0
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment needs from one run."""
+
+    scenario: Scenario
+    sim_time: int
+    apps: Dict[str, AppResult]
+    utilization: Dict[str, int]
+    runnable_total: StepSeries
+    runnable_per_app: Dict[str, StepSeries]
+    server_updates: int
+    total_preemptions: int
+    total_cs_preemptions: int
+    total_spin_time: int
+    total_context_switches: int
+    trace: TraceLog = field(repr=False)
+
+    def wall_time(self, app_id: str) -> int:
+        """Wall time of one application (convenience accessor)."""
+        return self.apps[app_id].wall_time
+
+    @property
+    def makespan(self) -> int:
+        """Completion time of the last application."""
+        return max(result.finished_at for result in self.apps.values())
+
+
+def _standalone_program(duration: int, quantum_hint: int):
+    """A CPU-bound stand-alone process (one long compute, chunked so its
+    compute syscalls do not dwarf the trace granularity)."""
+    chunk = max(quantum_hint, 1)
+    remaining = duration
+
+    def program():
+        nonlocal remaining
+        while remaining > 0:
+            step = min(chunk, remaining)
+            remaining -= step
+            yield sc.Compute(step)
+
+    return program()
+
+
+def run_scenario(
+    scenario: Scenario,
+    trace: Optional[TraceLog] = None,
+    max_events: int = 50_000_000,
+) -> ScenarioResult:
+    """Run *scenario* to completion and reduce its measurements."""
+    if not scenario.apps:
+        raise ValueError("scenario has no applications")
+    engine = Engine()
+    machine = Machine(scenario.machine)
+    if trace is None:
+        trace = TraceLog(categories=RUNNER_TRACE_CATEGORIES)
+    kernel = Kernel(
+        machine=machine,
+        engine=engine,
+        policy=make_scheduler(scenario.scheduler),
+        config=scenario.kernel,
+        trace=trace,
+    )
+
+    app_controls = [spec.control_mode(scenario.control) for spec in scenario.apps]
+    server: Optional[ProcessControlServer] = None
+    if "centralized" in app_controls:
+        partition_policy = (
+            kernel.policy
+            if scenario.server_partition_aware and scenario.scheduler == "partition"
+            else None
+        )
+        server = ProcessControlServer(
+            kernel,
+            interval=scenario.server_interval,
+            partition_policy=partition_policy,
+        )
+        server.start()
+
+    packages: List[ThreadsPackage] = []
+    for index, spec in enumerate(scenario.apps):
+        app = spec.factory()
+        package_config = ThreadsPackageConfig(
+            control=app_controls[index],
+            board=server.board if server is not None else None,
+            server_channel=server.channel if server is not None else None,
+            poll_interval=scenario.poll_interval,
+            idle_spin=scenario.idle_spin,
+            use_no_preempt_flags=scenario.use_no_preempt_flags,
+        )
+        package = ThreadsPackage(
+            kernel, app, spec.n_processes, config=package_config
+        )
+        packages.append(package)
+        engine.schedule(spec.arrival, package.start, f"arrive-{app.app_id}")
+
+    for spec in scenario.uncontrolled:
+        engine.schedule(
+            spec.arrival,
+            # Stand-alone processes are daemons so a long-lived compiler or
+            # network daemon does not keep the run alive after every
+            # application has finished.
+            lambda spec=spec: kernel.spawn(
+                _standalone_program(spec.duration, scenario.machine.quantum),
+                name=spec.name,
+                controllable=False,
+                daemon=True,
+            ),
+            f"arrive-{spec.name}",
+        )
+
+    kernel.run_until_quiescent(
+        done=lambda: all(p.finished for p in packages)
+        and kernel.alive_nondaemon_count() == 0,
+        max_events=max_events,
+        max_time=scenario.max_time,
+    )
+    kernel.finalize_accounting()
+
+    apps: Dict[str, AppResult] = {}
+    for package in packages:
+        lock = package.queue.lock
+        workers = kernel.processes_of_app(package.app_id)
+        apps[package.app_id] = AppResult(
+            cpu_time=sum(p.stats.cpu_time for p in workers),
+            idle_poll_time=package.idle_poll_time,
+            spin_time=sum(p.stats.spin_time for p in workers),
+            preemptions=sum(p.stats.preemptions for p in workers),
+            app_id=package.app_id,
+            n_processes=package.n_processes,
+            arrival=package.started_at,
+            finished_at=package.finished_at,
+            wall_time=package.wall_time,
+            tasks_completed=package.tasks_completed,
+            polls=package.control.polls,
+            suspensions=package.control.suspensions,
+            resumes=package.control.resumes,
+            queue_lock_contended=lock.contended_acquisitions,
+            queue_lock_holder_preempted=lock.holder_preempted_encounters,
+            queue_lock_spin_time=lock.total_spin_time,
+        )
+
+    runnable_total, runnable_per_app = runnable_series_from_trace(trace)
+    total_preemptions = 0
+    total_cs_preemptions = 0
+    total_spin = 0
+    total_switches = 0
+    for process in kernel.processes.values():
+        total_preemptions += process.stats.preemptions
+        total_cs_preemptions += process.stats.preemptions_in_critical_section
+        total_spin += process.stats.spin_time
+        total_switches += process.stats.dispatches
+
+    return ScenarioResult(
+        scenario=scenario,
+        sim_time=kernel.now,
+        apps=apps,
+        utilization=machine.utilization_summary(),
+        runnable_total=runnable_total,
+        runnable_per_app=runnable_per_app,
+        server_updates=server.updates if server is not None else 0,
+        total_preemptions=total_preemptions,
+        total_cs_preemptions=total_cs_preemptions,
+        total_spin_time=total_spin,
+        total_context_switches=total_switches,
+        trace=trace,
+    )

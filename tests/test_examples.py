@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example runs to completion and prints its
+headline output.  These are the repository's user-facing entry points, so
+they are part of the test gate."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "uncontrolled (s)" in out
+    assert "matmul" in out and "fft" in out
+    assert "server updates" in out
+
+
+def test_multiprogrammed_timesharing():
+    out = run_example("multiprogrammed_timesharing.py")
+    assert "wall OFF (s)" in out
+    assert "control OFF" in out and "control ON" in out
+    assert "#" in out  # the ASCII plot rendered
+
+
+def test_scheduler_shootout():
+    out = run_example("scheduler_shootout.py")
+    for scheduler in ("fifo", "decay", "coscheduling", "affinity", "partition"):
+        assert scheduler in out
+    assert "best combination" in out
+
+
+def test_real_process_control():
+    out = run_example("real_process_control.py")
+    assert "controller" in out
+    assert "clean shutdown" in out
+    assert "runnable workers over time" in out

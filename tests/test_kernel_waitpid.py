@@ -1,0 +1,117 @@
+"""Tests for the WaitPid (join) syscall."""
+
+import pytest
+
+from repro.kernel import syscalls as sc
+from repro.sim import units
+from repro.sim.engine import SimulationError
+
+from tests.conftest import make_kernel
+
+
+def test_parent_joins_child():
+    kernel = make_kernel(n_processors=2, context_switch_cost=0)
+    events = []
+
+    def child_body():
+        yield sc.Compute(units.ms(5))
+        events.append(("child-done", kernel.now))
+
+    def parent():
+        child_pid = yield sc.Fork(child_body(), name="child")
+        ok = yield sc.WaitPid(child_pid)
+        events.append(("joined", kernel.now, ok))
+
+    kernel.spawn(parent(), name="parent")
+    kernel.run_until_quiescent()
+    assert events[0][0] == "child-done"
+    assert events[1][0] == "joined"
+    assert events[1][2] is True
+    assert events[1][1] >= events[0][1]
+
+
+def test_join_already_dead_returns_immediately():
+    kernel = make_kernel(n_processors=2, context_switch_cost=0)
+    results = []
+
+    def quick():
+        yield sc.Compute(100)
+
+    def late_joiner(pid):
+        yield sc.Compute(units.ms(10))
+        ok = yield sc.WaitPid(pid)
+        results.append(ok)
+
+    target = kernel.spawn(quick(), name="quick")
+    kernel.spawn(late_joiner(target.pid), name="joiner")
+    kernel.run_until_quiescent()
+    assert results == [True]
+
+
+def test_join_unknown_pid_returns_false():
+    kernel = make_kernel(n_processors=1)
+    results = []
+
+    def joiner():
+        ok = yield sc.WaitPid(424242)
+        results.append(ok)
+
+    kernel.spawn(joiner(), name="j")
+    kernel.run_until_quiescent()
+    assert results == [False]
+
+
+def test_self_join_is_an_error():
+    kernel = make_kernel(n_processors=1)
+
+    def narcissist():
+        table = yield sc.GetProcessTable()
+        my_pid = table[0].pid
+        yield sc.WaitPid(my_pid)
+
+    kernel.spawn(narcissist(), name="n")
+    with pytest.raises(SimulationError, match="waiting on itself"):
+        kernel.run_until_quiescent()
+
+
+def test_multiple_joiners_all_released():
+    kernel = make_kernel(n_processors=4, context_switch_cost=0)
+    released = []
+
+    def worker():
+        yield sc.Compute(units.ms(5))
+
+    target = kernel.spawn(worker(), name="target")
+
+    def joiner(tag):
+        yield sc.WaitPid(target.pid)
+        released.append(tag)
+
+    for tag in ("a", "b", "c"):
+        kernel.spawn(joiner(tag), name=tag)
+    kernel.run_until_quiescent()
+    assert sorted(released) == ["a", "b", "c"]
+
+
+def test_fork_join_tree():
+    """A classic fork/join fan-out expressed directly against the kernel."""
+    kernel = make_kernel(n_processors=4, context_switch_cost=0)
+    done = []
+
+    def leaf(tag):
+        yield sc.Compute(units.ms(2))
+        done.append(tag)
+
+    def root():
+        pids = []
+        for i in range(4):
+            pid = yield sc.Fork(leaf(i), name=f"leaf{i}")
+            pids.append(pid)
+        for pid in pids:
+            yield sc.WaitPid(pid)
+        done.append("root")
+
+    kernel.spawn(root(), name="root")
+    kernel.run_until_quiescent()
+    assert done[-1] == "root"
+    assert sorted(done[:-1]) == [0, 1, 2, 3]

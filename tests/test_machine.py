@@ -1,0 +1,135 @@
+"""Unit tests for the machine layer: config validation, cache model,
+processor accounting."""
+
+import pytest
+
+from repro.machine import CacheModel, Machine, MachineConfig, Processor
+
+
+class TestMachineConfig:
+    def test_defaults_are_paper_like(self):
+        config = MachineConfig()
+        assert config.n_processors == 16
+        assert config.quantum == 100_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_processors=0)
+        with pytest.raises(ValueError):
+            MachineConfig(quantum=0)
+        with pytest.raises(ValueError):
+            MachineConfig(context_switch_cost=-1)
+        with pytest.raises(ValueError):
+            MachineConfig(cache_warmup_time=0)
+
+
+class TestCacheModel:
+    def make(self, **kwargs):
+        defaults = dict(
+            n_processors=2, cold_penalty=1000, warmup_time=100, purge_time=200
+        )
+        defaults.update(kwargs)
+        return CacheModel(**defaults)
+
+    def test_cold_process_pays_full_penalty(self):
+        cache = self.make()
+        assert cache.reload_penalty(0, pid=1) == 1000
+
+    def test_warm_process_pays_nothing(self):
+        cache = self.make()
+        cache.note_execution(0, pid=1, ran_for=100)  # fully warm
+        assert cache.warmth(0, 1) == 1.0
+        assert cache.reload_penalty(0, 1) == 0
+
+    def test_partial_warmth_scales_penalty(self):
+        cache = self.make()
+        cache.note_execution(0, pid=1, ran_for=50)  # half warm
+        assert cache.warmth(0, 1) == pytest.approx(0.5)
+        assert cache.reload_penalty(0, 1) == 500
+
+    def test_other_processes_purge_warmth(self):
+        cache = self.make()
+        cache.note_execution(0, pid=1, ran_for=100)
+        cache.note_execution(0, pid=2, ran_for=100)  # purges half of pid 1
+        assert cache.warmth(0, 1) == pytest.approx(0.5)
+        cache.note_execution(0, pid=2, ran_for=100)
+        assert cache.warmth(0, 1) == pytest.approx(0.0)
+
+    def test_warmth_is_per_processor(self):
+        cache = self.make()
+        cache.note_execution(0, pid=1, ran_for=100)
+        assert cache.warmth(1, 1) == 0.0
+
+    def test_disabled_cache_is_free(self):
+        cache = self.make(enabled=False)
+        assert cache.reload_penalty(0, 1) == 0
+        cache.note_execution(0, 1, 100)
+        assert cache.warmth(0, 1) == 1.0
+
+    def test_evict_process(self):
+        cache = self.make()
+        cache.note_execution(0, pid=1, ran_for=100)
+        cache.evict_process(1)
+        assert cache.warmth(0, 1) == 0.0
+
+    def test_warmest_cpu(self):
+        cache = self.make()
+        assert cache.warmest_cpu(1) is None
+        cache.note_execution(0, pid=1, ran_for=30)
+        cache.note_execution(1, pid=1, ran_for=60)
+        assert cache.warmest_cpu(1) == 1
+
+    def test_fully_purged_processes_are_dropped(self):
+        cache = self.make()
+        cache.note_execution(0, pid=1, ran_for=100)
+        cache.note_execution(0, pid=2, ran_for=1000)
+        assert 1 not in cache.resident_processes(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(n_processors=0)
+        with pytest.raises(ValueError):
+            self.make(warmup_time=0)
+        with pytest.raises(ValueError):
+            self.make(cold_penalty=-5)
+
+
+class TestProcessorAccounting:
+    def test_buckets_sum_to_elapsed(self):
+        cpu = Processor(0)
+        cpu.account(10, "idle")
+        cpu.account(30, "overhead")
+        cpu.account(100, "busy")
+        cpu.account(130, "spin")
+        assert cpu.idle_time == 10
+        assert cpu.overhead_time == 20
+        assert cpu.busy_time == 70
+        assert cpu.spin_time == 30
+        assert cpu.total_accounted() == 130
+
+    def test_time_backwards_rejected(self):
+        cpu = Processor(0)
+        cpu.account(10, "busy")
+        with pytest.raises(ValueError):
+            cpu.account(5, "busy")
+
+    def test_unknown_kind_rejected(self):
+        cpu = Processor(0)
+        with pytest.raises(ValueError):
+            cpu.account(10, "sleeping")
+
+
+class TestMachine:
+    def test_machine_builds_processors(self):
+        machine = Machine(MachineConfig(n_processors=4))
+        assert machine.n_processors == 4
+        assert len(machine.processors) == 4
+        assert machine.idle_processors() == machine.processors
+        assert machine.busy_processors() == []
+
+    def test_utilization_summary_aggregates(self):
+        machine = Machine(MachineConfig(n_processors=2))
+        machine.processors[0].account(10, "busy")
+        machine.processors[1].account(10, "idle")
+        summary = machine.utilization_summary()
+        assert summary == {"busy": 10, "spin": 0, "overhead": 0, "idle": 10}

@@ -1,0 +1,127 @@
+"""Tests for the metrics layer: step series, speedup math, tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    StepSeries,
+    efficiency,
+    format_table,
+    format_run_header,
+    runnable_series_from_trace,
+    speedup,
+)
+from repro.sim import TraceLog
+
+
+class TestStepSeries:
+    def test_value_at(self):
+        series = StepSeries([(0, 1), (10, 3), (20, 0)])
+        assert series.value_at(0) == 1
+        assert series.value_at(9) == 1
+        assert series.value_at(10) == 3
+        assert series.value_at(25) == 0
+
+    def test_value_before_first_point_is_zero(self):
+        series = StepSeries([(5, 2)])
+        assert series.value_at(0) == 0
+
+    def test_same_time_overwrites(self):
+        series = StepSeries([(5, 1), (5, 2)])
+        assert series.value_at(5) == 2
+        assert len(series) == 1
+
+    def test_non_monotonic_rejected(self):
+        series = StepSeries([(10, 1)])
+        with pytest.raises(ValueError):
+            series.append(5, 2)
+
+    def test_maximum(self):
+        assert StepSeries().maximum() == 0.0
+        assert StepSeries([(0, 2), (5, 7), (9, 1)]).maximum() == 7
+
+    def test_sample(self):
+        series = StepSeries([(0, 1), (10, 2)])
+        assert series.sample([0, 5, 10, 15]) == [1, 1, 2, 2]
+
+    def test_time_average(self):
+        series = StepSeries([(0, 0), (10, 10)])
+        # 0 for 10us, 10 for 10us -> average 5 over [0, 20)
+        assert series.time_average(0, 20) == pytest.approx(5.0)
+
+    def test_time_average_partial_window(self):
+        series = StepSeries([(0, 4)])
+        assert series.time_average(2, 6) == pytest.approx(4.0)
+
+    def test_time_average_bad_window(self):
+        with pytest.raises(ValueError):
+            StepSeries().time_average(5, 5)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_time_average_bounded_by_extremes(self, raw_points):
+        points = sorted(raw_points)
+        series = StepSeries(points)
+        average = series.time_average(0, 2000)
+        values = [v for _, v in points] + [0]
+        assert min(values) <= average <= max(values)
+
+
+class TestRunnableSeriesFromTrace:
+    def test_reconstruction(self):
+        trace = TraceLog()
+        trace.emit(0, "kernel.runnable", total=2, per_app={"a": 2})
+        trace.emit(10, "kernel.runnable", total=5, per_app={"a": 2, "b": 3})
+        trace.emit(20, "kernel.runnable", total=3, per_app={"b": 3})
+        total, per_app = runnable_series_from_trace(trace)
+        assert total.value_at(5) == 2
+        assert total.value_at(15) == 5
+        assert per_app["a"].value_at(15) == 2
+        # "a" disappeared from the census at t=20 -> recorded as zero.
+        assert per_app["a"].value_at(25) == 0
+        assert per_app["b"].value_at(25) == 3
+
+    def test_empty_trace(self):
+        total, per_app = runnable_series_from_trace(TraceLog())
+        assert len(total) == 0
+        assert per_app == {}
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100, 25) == 4.0
+        assert efficiency(100, 25, 8) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0, 5)
+        with pytest.raises(ValueError):
+            speedup(5, 0)
+        with pytest.raises(ValueError):
+            efficiency(5, 5, 0)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        table = format_table(["a", "long-header"], [[1, 2.5], [30, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long-header" in lines[0]
+        assert "2.50" in table  # floats formatted at 2 decimals
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_run_header(self):
+        assert format_run_header("Test") == "== Test =="
+        header = format_run_header("Test", q=5, a=1)
+        assert header == "== Test (a=1, q=5) =="

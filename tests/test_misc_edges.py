@@ -1,0 +1,139 @@
+"""Edge-case coverage across small corners: syscall validation, channel
+ordering, figure plot helpers, scheduler quanta."""
+
+import pytest
+
+from repro.experiments.figure3 import Figure3Curve, Figure3Result, plot_figure3
+from repro.experiments.figure5 import Figure5Series, plot_figure5, Figure5Result
+from repro.kernel import Channel
+from repro.kernel import syscalls as sc
+from repro.kernel.scheduler import CoschedulingScheduler, FifoScheduler
+from repro.metrics.timeseries import StepSeries
+from repro.sim import units
+
+from tests.conftest import make_kernel
+
+
+class TestSyscallValidation:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            sc.Compute(-5)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            sc.Sleep(-1)
+
+    def test_zero_compute_is_fine(self):
+        kernel = make_kernel(n_processors=1)
+
+        def program():
+            yield sc.Compute(0)
+            yield sc.Compute(10)
+
+        process = kernel.spawn(program(), name="p")
+        kernel.run_until_quiescent()
+        assert process.stats.cpu_time == 10
+
+
+class TestChannelOrdering:
+    def test_fifo_message_order_under_concurrency(self):
+        kernel = make_kernel(n_processors=2, context_switch_cost=0)
+        channel = Channel("c")
+        received = []
+
+        def sender():
+            for i in range(5):
+                yield sc.ChannelSend(channel, i)
+                yield sc.Compute(10)
+
+        def receiver():
+            for _ in range(5):
+                message = yield sc.ChannelReceive(channel)
+                received.append(message)
+
+        kernel.spawn(sender(), name="s")
+        kernel.spawn(receiver(), name="r")
+        kernel.run_until_quiescent()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_multiple_receivers_each_get_one(self):
+        kernel = make_kernel(n_processors=4, context_switch_cost=0)
+        channel = Channel("c")
+        got = []
+
+        def receiver(tag):
+            message = yield sc.ChannelReceive(channel)
+            got.append((tag, message))
+
+        def sender():
+            yield sc.Compute(units.ms(1))
+            for i in range(3):
+                yield sc.ChannelSend(channel, i)
+
+        for tag in ("a", "b", "c"):
+            kernel.spawn(receiver(tag), name=tag)
+        kernel.spawn(sender(), name="s")
+        kernel.run_until_quiescent()
+        assert sorted(m for _, m in got) == [0, 1, 2]
+        assert len({tag for tag, _ in got}) == 3
+
+
+class TestSchedulerQuanta:
+    def test_fifo_uses_machine_quantum(self):
+        kernel = make_kernel(n_processors=1, quantum=units.ms(7))
+        policy = kernel.policy
+        assert isinstance(policy, FifoScheduler)
+
+        def hog():
+            yield sc.Compute(units.ms(1))
+
+        process = kernel.spawn(hog(), name="p")
+        assert policy.quantum_for(process, 0) == units.ms(7)
+        kernel.run_until_quiescent()
+
+    def test_coscheduling_override_epoch(self):
+        policy = CoschedulingScheduler(epoch=units.ms(42))
+        kernel = make_kernel(n_processors=1, policy=policy)
+        assert policy.epoch == units.ms(42)
+
+        def hog():
+            yield sc.Compute(units.ms(1))
+
+        process = kernel.spawn(hog(), name="p")
+        assert policy.quantum_for(process, 0) == units.ms(42)
+        kernel.run_until_quiescent()
+
+
+class TestFigurePlots:
+    def test_plot_figure3_renders(self):
+        curve = Figure3Curve(
+            app="fft",
+            t1=1_000_000,
+            counts=[1, 8, 16, 24],
+            speedup_off=[1.0, 7.0, 13.0, 7.0],
+            speedup_on=[1.0, 7.0, 13.0, 12.0],
+        )
+        text = plot_figure3(Figure3Result(curves={"fft": curve}, preset="x"))
+        assert "speedup vs processes" in text
+        assert "O=o" in text
+
+    def test_plot_figure5_renders(self):
+        series = Figure5Series(
+            controlled=True,
+            total=StepSeries([(0, 16), (units.seconds(5), 32)]),
+            per_app={},
+            sim_time=units.seconds(10),
+        )
+        result = Figure5Result(
+            on=series,
+            off=Figure5Series(
+                controlled=False,
+                total=StepSeries([(0, 48)]),
+                per_app={},
+                sim_time=units.seconds(10),
+            ),
+            preset="x",
+        )
+        text = plot_figure5(result)
+        assert "control ON" in text and "control OFF" in text
+        assert "#" in text

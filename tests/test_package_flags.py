@@ -1,0 +1,62 @@
+"""Threads-package no-preempt flag integration and scenario plumbing."""
+
+from repro.apps import UniformApp
+from repro.kernel.scheduler import NoPreemptAwareScheduler
+from repro.machine import MachineConfig
+from repro.sim import units
+from repro.threads import ThreadsPackage, ThreadsPackageConfig
+from repro.workloads import AppSpec, Scenario, run_scenario
+
+from tests.conftest import make_kernel
+
+
+class TestNoPreemptFlags:
+    def test_package_brackets_queue_ops_with_flags(self):
+        """With use_no_preempt_flags, workers are never preempted while
+        holding the queue lock."""
+        policy = NoPreemptAwareScheduler()
+        kernel = make_kernel(
+            n_processors=2, quantum=units.ms(1), policy=policy
+        )
+        app = UniformApp(n_tasks=60, task_cost=units.ms(3))
+        package = ThreadsPackage(
+            kernel, app, 6, ThreadsPackageConfig(use_no_preempt_flags=True)
+        )
+        package.start()
+        kernel.run_until_quiescent()
+        assert package.finished
+        # The flag protects the queue lock: no holder was ever caught
+        # preempted by a contender.
+        assert package.queue.lock.holder_preempted_encounters == 0
+
+    def test_without_flags_holder_preemption_happens(self):
+        """Control case: the same oversubscribed workload without flags
+        does hit preempted queue-lock holders (eventually)."""
+        kernel = make_kernel(n_processors=2, quantum=units.ms(1))
+        app = UniformApp(n_tasks=400, task_cost=units.us(600))
+        package = ThreadsPackage(
+            kernel, app, 8, ThreadsPackageConfig(use_no_preempt_flags=False)
+        )
+        package.start()
+        kernel.run_until_quiescent()
+        assert package.finished
+        # Not guaranteed every run, but with 400 fine-grained tasks on a
+        # 1 ms quantum the lock sees heavy traffic; assert the mechanism
+        # at least engaged (contention observed).
+        assert package.queue.lock.contended_acquisitions > 0
+
+    def test_scenario_flag_plumbs_through(self):
+        result = run_scenario(
+            Scenario(
+                apps=[
+                    AppSpec(
+                        lambda: UniformApp(n_tasks=40, task_cost=units.ms(2)),
+                        4,
+                    )
+                ],
+                scheduler="nopreempt",
+                use_no_preempt_flags=True,
+                machine=MachineConfig(n_processors=2, quantum=units.ms(2)),
+            )
+        )
+        assert result.apps["uniform"].tasks_completed == 40

@@ -1,0 +1,157 @@
+"""Hypothesis property tests on the simulation substrate.
+
+These pin down the invariants everything above relies on: event ordering,
+cache-model bounds, end-to-end determinism, and conservation of accounted
+time under arbitrary small workloads.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Kernel, syscalls as sc
+from repro.machine import CacheModel, Machine, MachineConfig
+from repro.sim import Engine, units
+
+# ---------------------------------------------------------------------------
+# Engine ordering
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=50))
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=100), st.booleans()),
+        max_size=40,
+    )
+)
+def test_engine_cancellation_exactness(items):
+    """Exactly the non-cancelled events fire, in order."""
+    engine = Engine()
+    fired = []
+    expected = []
+    for index, (delay, keep) in enumerate(items):
+        handle = engine.schedule(delay, lambda i=index: fired.append(i))
+        if keep:
+            expected.append((delay, index))
+        else:
+            handle.cancel()
+    engine.run()
+    assert fired == [index for _, index in sorted(expected, key=lambda p: (p[0], p[1]))]
+
+
+# ---------------------------------------------------------------------------
+# Cache model bounds
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),   # cpu
+            st.integers(min_value=1, max_value=4),   # pid
+            st.integers(min_value=1, max_value=500),  # ran_for
+        ),
+        max_size=60,
+    )
+)
+def test_cache_warmth_always_in_unit_interval(executions):
+    cache = CacheModel(n_processors=2, cold_penalty=1000, warmup_time=100,
+                       purge_time=150)
+    for cpu, pid, ran_for in executions:
+        cache.note_execution(cpu, pid, ran_for)
+        for check_cpu in (0, 1):
+            for check_pid in range(1, 5):
+                warmth = cache.warmth(check_cpu, check_pid)
+                assert 0.0 <= warmth <= 1.0
+                penalty = cache.reload_penalty(check_cpu, check_pid)
+                assert 0 <= penalty <= 1000
+
+
+@given(st.integers(min_value=1, max_value=400))
+def test_cache_execution_never_cools_the_runner(ran_for):
+    cache = CacheModel(n_processors=1, cold_penalty=1000, warmup_time=100,
+                       purge_time=150)
+    cache.note_execution(0, pid=1, ran_for=50)
+    before = cache.warmth(0, 1)
+    cache.note_execution(0, pid=1, ran_for=ran_for)
+    assert cache.warmth(0, 1) >= before
+
+
+# ---------------------------------------------------------------------------
+# Whole-kernel properties over generated workloads
+# ---------------------------------------------------------------------------
+
+
+def _build_workload(kernel, spec):
+    """Spawn a random but well-formed batch of compute/sleep programs."""
+    for index, (bursts, burst_len, sleep_len) in enumerate(spec):
+        def program(bursts=bursts, burst_len=burst_len, sleep_len=sleep_len):
+            for _ in range(bursts):
+                yield sc.Compute(burst_len)
+                if sleep_len:
+                    yield sc.Sleep(sleep_len)
+
+        kernel.spawn(program(), name=f"w{index}", app_id=f"app{index % 2}")
+
+
+workload_spec = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),       # bursts
+        st.integers(min_value=1, max_value=20_000),  # burst length us
+        st.integers(min_value=0, max_value=5_000),   # sleep length us
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(spec=workload_spec)
+@settings(max_examples=30, deadline=None)
+def test_kernel_conserves_accounted_time(spec):
+    kernel = Kernel(
+        machine=Machine(
+            MachineConfig(
+                n_processors=2,
+                quantum=units.ms(5),
+                cache_affinity_enabled=False,
+            )
+        )
+    )
+    _build_workload(kernel, spec)
+    kernel.run_until_quiescent(max_events=500_000)
+    kernel.finalize_accounting()
+    for processor in kernel.machine.processors:
+        assert processor.total_accounted() == kernel.now
+    # Every process got exactly the CPU it asked for.
+    for process in kernel.processes.values():
+        index = int(process.name[1:])
+        bursts, burst_len, _sleep = spec[index]
+        assert process.stats.cpu_time == bursts * burst_len
+
+
+@given(spec=workload_spec)
+@settings(max_examples=15, deadline=None)
+def test_kernel_runs_are_deterministic(spec):
+    def run():
+        kernel = Kernel(
+            machine=Machine(
+                MachineConfig(n_processors=2, quantum=units.ms(5))
+            )
+        )
+        _build_workload(kernel, spec)
+        kernel.run_until_quiescent(max_events=500_000)
+        return (
+            kernel.now,
+            tuple(sorted((p.pid, p.exit_time) for p in kernel.processes.values())),
+        )
+
+    assert run() == run()

@@ -1,0 +1,193 @@
+"""Tests for the real-process demonstrator.
+
+These spawn genuine OS processes, so they use generous deadlines and poll
+for conditions rather than asserting instantaneous state.
+"""
+
+import time
+
+import pytest
+
+from repro.realsys import CentralController, ControlledPool
+from repro.realsys import tasks
+
+
+def wait_until(predicate, timeout=15.0, interval=0.02):
+    """Poll *predicate* until true or the deadline passes."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture
+def pool():
+    pool = ControlledPool(n_workers=3, name="testpool")
+    pool.start()
+    yield pool
+    pool.shutdown()
+
+
+class TestControlledPool:
+    def test_executes_all_tasks(self, pool):
+        ids = pool.submit_many([(tasks.sum_squares, (1000,))] * 12)
+        results = pool.join_results(12, timeout=30.0)
+        assert set(results) == set(ids)
+        assert all(v == tasks.sum_squares(1000) for v in results.values())
+
+    def test_results_match_inputs(self, pool):
+        a = pool.submit(tasks.sum_squares, (10,))
+        b = pool.submit(tasks.burn_cpu, (100,))
+        results = pool.join_results(2, timeout=30.0)
+        assert results[a] == sum(i * i for i in range(10))
+        assert results[b] == tasks.burn_cpu(100)
+
+    def test_task_failure_reported(self, pool):
+        pool.submit(tasks.sum_squares, ("not-an-int",))
+        with pytest.raises(RuntimeError, match="failed"):
+            pool.join_results(1, timeout=30.0)
+
+    def test_workers_suspend_to_target(self, pool):
+        pool.set_target(1)
+        # Keep the workers passing safe points so they notice the target.
+        pool.submit_many([(tasks.sum_squares, (2000,))] * 30)
+        assert wait_until(lambda: pool.runnable_workers == 1)
+        pool.join_results(30, timeout=60.0)
+
+    def test_raising_target_resumes(self, pool):
+        pool.set_target(1)
+        pool.submit_many([(tasks.sum_squares, (2000,))] * 10)
+        assert wait_until(lambda: pool.runnable_workers == 1)
+        pool.set_target(3)
+        pool.submit_many([(tasks.sum_squares, (2000,))] * 10)
+        assert wait_until(lambda: pool.runnable_workers == 3)
+        pool.join_results(20, timeout=60.0)
+
+    def test_all_tasks_complete_even_when_throttled(self, pool):
+        pool.set_target(1)
+        ids = pool.submit_many([(tasks.burn_cpu, (500,))] * 25)
+        results = pool.join_results(25, timeout=60.0)
+        assert set(results) == set(ids)
+
+    def test_target_validation(self, pool):
+        with pytest.raises(ValueError):
+            pool.set_target(0)
+
+    def test_target_capped_at_worker_count(self, pool):
+        pool.set_target(99)
+        assert pool.target == 3
+
+    def test_lifecycle_errors(self):
+        pool = ControlledPool(n_workers=1, name="lc")
+        with pytest.raises(RuntimeError):
+            pool.submit(tasks.sum_squares, (1,))
+        pool.start()
+        with pytest.raises(RuntimeError):
+            pool.start()
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ControlledPool(n_workers=0)
+
+
+class TestCentralController:
+    def test_partitions_cpus_between_pools(self):
+        controller = CentralController(interval=0.05, n_cpus=4)
+        a = ControlledPool(n_workers=4, name="appA")
+        b = ControlledPool(n_workers=4, name="appB")
+        a.start()
+        b.start()
+        try:
+            controller.register(a)
+            controller.register(b)
+            targets = controller.update_once()
+            assert targets == {"appA": 2, "appB": 2}
+            assert a.target == 2 and b.target == 2
+        finally:
+            a.shutdown()
+            b.shutdown()
+
+    def test_departure_grows_remaining_pool(self):
+        controller = CentralController(interval=0.05, n_cpus=4)
+        a = ControlledPool(n_workers=4, name="appA")
+        b = ControlledPool(n_workers=4, name="appB")
+        a.start()
+        b.start()
+        try:
+            controller.register(a)
+            controller.register(b)
+            controller.unregister(b)
+            assert controller.compute_targets() == {"appA": 4}
+            assert a.target == 4
+        finally:
+            a.shutdown()
+            b.shutdown()
+
+    def test_reserved_cpus_subtracted(self):
+        controller = CentralController(interval=0.05, n_cpus=4, reserve_cpus=2)
+        a = ControlledPool(n_workers=4, name="appA")
+        a.start()
+        try:
+            controller.register(a)
+            assert controller.compute_targets() == {"appA": 2}
+        finally:
+            a.shutdown()
+
+    def test_background_loop_updates(self):
+        controller = CentralController(interval=0.02, n_cpus=2)
+        a = ControlledPool(n_workers=2, name="appA")
+        a.start()
+        try:
+            controller.register(a)
+            controller.start()
+            assert wait_until(lambda: controller.updates >= 3)
+        finally:
+            controller.stop()
+            a.shutdown()
+
+    def test_end_to_end_throttle_and_recover(self):
+        """Two pools with work; the controller halves each, then one pool
+        finishes and the other gets the machine back."""
+        controller = CentralController(interval=0.05, n_cpus=4)
+        a = ControlledPool(n_workers=4, name="appA")
+        b = ControlledPool(n_workers=4, name="appB")
+        a.start()
+        b.start()
+        try:
+            controller.register(a)
+            controller.register(b)
+            controller.start()
+            a_ids = a.submit_many([(tasks.burn_cpu, (3000,))] * 20)
+            b_ids = b.submit_many([(tasks.burn_cpu, (3000,))] * 8)
+            assert wait_until(
+                lambda: a.runnable_workers <= 2 and b.runnable_workers <= 2
+            )
+            b_results = b.join_results(len(b_ids), timeout=60.0)
+            controller.unregister(b)
+            assert wait_until(lambda: a.runnable_workers == 4)
+            a_results = a.join_results(len(a_ids), timeout=60.0)
+            assert len(a_results) == 20 and len(b_results) == 8
+        finally:
+            controller.stop()
+            a.shutdown()
+            b.shutdown()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentralController(interval=0)
+        with pytest.raises(ValueError):
+            CentralController(reserve_cpus=-1)
+        controller = CentralController(n_cpus=2)
+        pool = ControlledPool(n_workers=1, name="dup")
+        pool2 = ControlledPool(n_workers=1, name="dup")
+        pool.start()
+        try:
+            controller.register(pool)
+            with pytest.raises(ValueError):
+                controller.register(pool2)
+        finally:
+            pool.shutdown()

@@ -1,0 +1,138 @@
+"""Robustness: misbehaving programs and applications must fail loudly and
+precisely, not corrupt the simulation."""
+
+import pytest
+
+from repro.kernel import syscalls as sc
+from repro.sim import units
+from repro.sim.engine import SimulationError
+from repro.sync import Mutex, SpinLock
+from repro.threads import Task, ThreadsPackage
+
+from tests.conftest import make_kernel
+
+
+class TestMisbehavingPrograms:
+    def test_double_mutex_release_detected(self):
+        kernel = make_kernel(n_processors=1)
+        mutex = Mutex("m")
+
+        def bad():
+            yield sc.MutexAcquire(mutex)
+            yield sc.MutexRelease(mutex)
+            yield sc.MutexRelease(mutex)
+
+        kernel.spawn(bad(), name="bad")
+        with pytest.raises(Exception, match="release"):
+            kernel.run_until_quiescent()
+
+    def test_foreign_spinlock_release_detected(self):
+        kernel = make_kernel(n_processors=2, context_switch_cost=0)
+        lock = SpinLock("l")
+
+        def owner():
+            yield sc.SpinAcquire(lock)
+            yield sc.Compute(units.ms(10))
+            yield sc.SpinRelease(lock)
+
+        def thief():
+            yield sc.Compute(units.ms(1))
+            yield sc.SpinRelease(lock)  # not the holder
+
+        kernel.spawn(owner(), name="owner")
+        kernel.spawn(thief(), name="thief")
+        with pytest.raises(Exception, match="release"):
+            kernel.run_until_quiescent()
+
+    def test_exit_while_holding_spinlock_leaves_it_held(self):
+        """The kernel does not magically release user locks on exit (real
+        spinlocks are just memory); the lock stays held and later
+        contenders spin forever -- detected as a deadlock/time guard."""
+        kernel = make_kernel(n_processors=2, context_switch_cost=0)
+        lock = SpinLock("l")
+
+        def quitter():
+            yield sc.SpinAcquire(lock)
+            yield sc.Exit()
+
+        def contender():
+            yield sc.Compute(units.ms(1))
+            yield sc.SpinAcquire(lock)
+            yield sc.SpinRelease(lock)
+
+        kernel.spawn(quitter(), name="q")
+        kernel.spawn(contender(), name="c")
+        with pytest.raises(SimulationError):
+            kernel.run_until_quiescent(max_time=units.seconds(2))
+        assert lock.held
+
+    def test_unknown_yield_value_rejected(self):
+        kernel = make_kernel(n_processors=1)
+
+        def confused():
+            yield "make it faster please"
+
+        kernel.spawn(confused(), name="confused")
+        with pytest.raises(SimulationError, match="unknown syscall|str"):
+            kernel.run_until_quiescent()
+
+    def test_task_body_exception_is_attributed(self):
+        kernel = make_kernel(n_processors=2)
+
+        def exploding_body():
+            yield sc.Compute(units.ms(1))
+            raise ValueError("numerical blow-up")
+
+        class OneTaskApp:
+            app_id = "boom"
+
+            def initial_tasks(self):
+                return [Task("boom-task", exploding_body)]
+
+            def on_task_done(self, task):
+                return []
+
+        package = ThreadsPackage(kernel, OneTaskApp(), 2)
+        package.start()
+        with pytest.raises(SimulationError, match="numerical blow-up"):
+            kernel.run_until_quiescent()
+
+
+class TestEngineGuards:
+    def test_reentrant_run_rejected(self):
+        from repro.sim import Engine
+
+        engine = Engine()
+        errors = []
+
+        def reenter():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        engine.schedule(1, reenter)
+        engine.run()
+        assert errors and "re-entrant" in errors[0]
+
+    def test_run_until_quiescent_time_guard(self):
+        kernel = make_kernel(n_processors=1)
+
+        def endless():
+            while True:
+                yield sc.Compute(units.ms(10))
+
+        kernel.spawn(endless(), name="forever")
+        with pytest.raises(SimulationError, match="max_time"):
+            kernel.run_until_quiescent(max_time=units.ms(100))
+
+    def test_run_until_quiescent_event_guard(self):
+        kernel = make_kernel(n_processors=1)
+
+        def endless():
+            while True:
+                yield sc.Compute(10)
+
+        kernel.spawn(endless(), name="forever")
+        with pytest.raises(SimulationError, match="max_events"):
+            kernel.run_until_quiescent(max_events=500)

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, lambda: order.append("c"))
+    engine.schedule(10, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_time_events_fire_in_insertion_order():
+    engine = Engine()
+    order = []
+    for label in "abcde":
+        engine.schedule(5, lambda label=label: order.append(label))
+    engine.run()
+    assert order == list("abcde")
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: engine.schedule(0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [10]
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(10, lambda: fired.append("cancelled"))
+    engine.schedule(10, lambda: fired.append("kept"))
+    handle.cancel()
+    engine.run()
+    assert fired == ["kept"]
+    assert not handle.pending
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    handle = engine.schedule(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert engine.run() == 0
+
+
+def test_events_scheduled_during_run_fire():
+    engine = Engine()
+    seen = []
+
+    def chain(depth):
+        seen.append(engine.now)
+        if depth:
+            engine.schedule(7, lambda: chain(depth - 1))
+
+    engine.schedule(1, lambda: chain(3))
+    engine.run()
+    assert seen == [1, 8, 15, 22]
+
+
+def test_run_until_advances_clock_past_last_event():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: seen.append("x"))
+    fired = engine.run_until(100)
+    assert fired == 1
+    assert seen == ["x"]
+    assert engine.now == 100
+
+
+def test_run_until_does_not_fire_later_events():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: seen.append("early"))
+    engine.schedule(200, lambda: seen.append("late"))
+    engine.run_until(100)
+    assert seen == ["early"]
+    engine.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_in_past_rejected():
+    engine = Engine()
+    engine.schedule(50, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.run_until(10)
+
+
+def test_max_events_guard_trips():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(1, forever)
+    with pytest.raises(SimulationError):
+        engine.run(max_events=100)
+
+
+def test_step_returns_false_on_empty_calendar():
+    engine = Engine()
+    assert engine.step() is False
+    engine.schedule(5, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_pending_count_ignores_cancelled():
+    engine = Engine()
+    keep = engine.schedule(5, lambda: None)
+    drop = engine.schedule(6, lambda: None)
+    drop.cancel()
+    assert engine.pending_count == 1
+    assert keep.pending

@@ -1,0 +1,98 @@
+"""Tests for the busy-wait barrier."""
+
+import pytest
+
+from repro.kernel import syscalls as sc
+from repro.sim import units
+from repro.sync import SpinBarrier, spin_barrier_wait
+
+from tests.conftest import make_kernel
+
+
+def test_all_parties_proceed_together():
+    kernel = make_kernel(n_processors=4, context_switch_cost=0)
+    barrier = SpinBarrier(parties=3, poll_gap=100)
+    after = []
+
+    def worker(tag, work):
+        yield sc.Compute(work)
+        yield from spin_barrier_wait(barrier)
+        after.append((tag, kernel.now))
+
+    kernel.spawn(worker("fast", 100), name="f")
+    kernel.spawn(worker("mid", units.ms(1)), name="m")
+    kernel.spawn(worker("slow", units.ms(3)), name="s")
+    kernel.run_until_quiescent()
+    assert barrier.trips == 1
+    # Nobody proceeds before the slowest arrival.
+    assert min(t for _, t in after) >= units.ms(3)
+
+
+def test_waiters_burn_cpu_while_waiting():
+    kernel = make_kernel(n_processors=4, context_switch_cost=0)
+    barrier = SpinBarrier(parties=2, poll_gap=100)
+
+    def fast():
+        yield from spin_barrier_wait(barrier)
+
+    def slow():
+        yield sc.Compute(units.ms(2))
+        yield from spin_barrier_wait(barrier)
+
+    waiter = kernel.spawn(fast(), name="fast")
+    kernel.spawn(slow(), name="slow")
+    kernel.run_until_quiescent()
+    # The fast process polled for ~2ms of real CPU.
+    assert waiter.stats.cpu_time >= units.ms(1)
+    assert barrier.poll_time >= units.ms(1)
+
+
+def test_barrier_is_reusable():
+    kernel = make_kernel(n_processors=2, context_switch_cost=0)
+    barrier = SpinBarrier(parties=2, poll_gap=50)
+
+    def worker():
+        for _ in range(3):
+            yield sc.Compute(200)
+            yield from spin_barrier_wait(barrier)
+
+    kernel.spawn(worker(), name="a")
+    kernel.spawn(worker(), name="b")
+    kernel.run_until_quiescent()
+    assert barrier.trips == 3
+    assert barrier.arrived == 0
+
+
+def test_single_party_never_polls():
+    kernel = make_kernel(n_processors=1)
+    barrier = SpinBarrier(parties=1)
+
+    def worker():
+        yield sc.Compute(100)
+        yield from spin_barrier_wait(barrier)
+
+    process = kernel.spawn(worker(), name="solo")
+    kernel.run_until_quiescent()
+    assert barrier.trips == 1
+    assert barrier.poll_time == 0
+    assert process.stats.cpu_time == 100
+
+
+def test_oversubscription_penalty_vs_blocking():
+    """The mechanisms table's core contrast, at unit-test scale: with more
+    processes than processors, the spin barrier wastes quanta that the
+    blocking barrier releases."""
+    from repro.experiments.mechanisms import run_m2b_barrier_styles
+
+    rows = run_m2b_barrier_styles(n_processors=2, phases=4, work=units.ms(4))
+    fitting = rows[0]
+    oversubscribed = rows[-1]
+    assert fitting["spin_penalty"] < 1.3
+    assert oversubscribed["spin_penalty"] > fitting["spin_penalty"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SpinBarrier(parties=0)
+    with pytest.raises(ValueError):
+        SpinBarrier(parties=2, poll_gap=0)

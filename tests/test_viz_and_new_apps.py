@@ -1,0 +1,150 @@
+"""Tests for the ASCII viz module and the quicksort/jacobi applications."""
+
+import pytest
+
+from repro.apps import Jacobi, QuickSort
+from repro.metrics.timeseries import StepSeries
+from repro.sim import units
+from repro.threads import ThreadsPackage
+from repro.viz import bar_chart, curve_plot, multi_step_plot, step_plot
+
+from tests.conftest import make_kernel
+
+
+class TestStepPlot:
+    def make_series(self):
+        return StepSeries([(0, 4), (units.seconds(5), 12), (units.seconds(8), 2)])
+
+    def test_plot_renders(self):
+        text = step_plot(self.make_series(), until=units.seconds(10), width=20,
+                         height=4)
+        lines = text.splitlines()
+        assert len(lines) == 6  # 4 rows + axis + footer
+        assert "#" in text
+
+    def test_higher_values_fill_higher_rows(self):
+        text = step_plot(self.make_series(), until=units.seconds(10), width=20,
+                         height=4, y_max=12)
+        top_row = text.splitlines()[0]
+        # Only the 12-valued interval reaches the top band.
+        assert "#" in top_row
+        assert top_row.index("#") > 8  # the high plateau starts mid-plot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_plot(StepSeries(), until=0)
+        with pytest.raises(ValueError):
+            step_plot(StepSeries(), until=10, width=1)
+
+
+class TestMultiStepPlot:
+    def test_legend_and_markers(self):
+        series = {
+            "fft": StepSeries([(0, 5)]),
+            "gauss": StepSeries([(0, 10)]),
+        }
+        text = multi_step_plot(series, until=units.seconds(2), width=10, height=4)
+        assert "F=fft" in text
+        assert "G=gauss" in text
+        assert "G" in text.splitlines()[0]  # gauss reaches the top band
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multi_step_plot({}, until=10)
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], width=20, unit="s")
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert "10.0s" in lines[0]
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart([("a", 4.0), ("z", 0.0)], width=10)
+        assert "#" not in text.splitlines()[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+
+class TestCurvePlot:
+    def test_curves_render_with_legend(self):
+        curves = {
+            "off": [(1, 1.0), (8, 7.0), (24, 3.0)],
+            "on": [(1, 1.0), (8, 7.0), (24, 7.0)],
+        }
+        text = curve_plot(curves, width=30, height=8)
+        assert "O=o" in text  # legend present
+        assert "|" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            curve_plot({})
+        with pytest.raises(ValueError):
+            curve_plot({"x": []})
+
+
+class TestQuickSort:
+    def run(self, n_processes=4, **kwargs):
+        kernel = make_kernel(n_processors=4)
+        app = QuickSort(n_elements=20_000, cutoff=2_000, **kwargs)
+        package = ThreadsPackage(kernel, app, n_processes)
+        package.start()
+        kernel.run_until_quiescent()
+        return app, package
+
+    def test_runs_to_completion_with_dynamic_spawning(self):
+        app, package = self.run()
+        assert package.finished
+        assert app.tasks_spawned > 10  # recursion actually unfolded
+        assert app.segments_sorted >= 2
+        assert package.tasks_completed == app.tasks_spawned
+
+    def test_deterministic(self):
+        first, _ = self.run(seed=5)
+        second, _ = self.run(seed=5)
+        assert first.tasks_spawned == second.tasks_spawned
+
+    def test_parallel_faster_than_serial(self):
+        kernel1 = make_kernel(n_processors=1)
+        app1 = QuickSort(n_elements=20_000, cutoff=2_000)
+        p1 = ThreadsPackage(kernel1, app1, 1)
+        p1.start()
+        kernel1.run_until_quiescent()
+        kernel4 = make_kernel(n_processors=4)
+        app4 = QuickSort(n_elements=20_000, cutoff=2_000)
+        p4 = ThreadsPackage(kernel4, app4, 4)
+        p4.start()
+        kernel4.run_until_quiescent()
+        assert p4.wall_time < p1.wall_time
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuickSort(n_elements=0)
+        with pytest.raises(ValueError):
+            QuickSort(cutoff=0)
+
+
+class TestJacobi:
+    def test_phase_structure(self):
+        app = Jacobi(sweeps=5, strips=4, strip_cost=units.ms(1))
+        assert app.n_phases == 5
+        assert len(app.phase_tasks(0)) == 4
+        assert app.total_work() >= 5 * 4 * units.ms(1)
+
+    def test_runs_under_package(self):
+        kernel = make_kernel(n_processors=4)
+        app = Jacobi(sweeps=4, strips=4, strip_cost=units.ms(2),
+                     residual_cost=units.us(50))
+        package = ThreadsPackage(kernel, app, 4)
+        package.start()
+        kernel.run_until_quiescent()
+        assert package.finished
+        assert package.tasks_completed == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Jacobi(sweeps=0)

@@ -1,0 +1,73 @@
+"""Hypothesis robustness tests for the viz module: arbitrary well-formed
+series must render without crashing and with sane dimensions."""
+
+from hypothesis import given, strategies as st
+
+from repro.metrics.timeseries import StepSeries
+from repro.viz import bar_chart, curve_plot, multi_step_plot, step_plot
+
+series_points = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000_000),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=20,
+).map(sorted)
+
+
+@given(points=series_points, width=st.integers(8, 80), height=st.integers(2, 16))
+def test_step_plot_never_crashes(points, width, height):
+    series = StepSeries(points)
+    text = step_plot(series, until=10_000_001, width=width, height=height)
+    lines = text.splitlines()
+    assert len(lines) == height + 2  # rows + axis + footer
+    # Every data row has the same width.
+    row_widths = {len(line) for line in lines[:height]}
+    assert len(row_widths) == 1
+
+
+@given(
+    labels=st.lists(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+        min_size=1,
+        max_size=4,
+        unique=True,
+    ),
+    points=series_points,
+)
+def test_multi_step_plot_never_crashes(labels, points):
+    series = {label: StepSeries(points) for label in labels}
+    text = multi_step_plot(series, until=10_000_001, width=30, height=5)
+    for label in labels:
+        assert label in text  # legend mentions every series
+
+
+@given(
+    values=st.lists(
+        st.tuples(
+            st.text(alphabet="xyz", min_size=1, max_size=8),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_bar_chart_never_crashes(values):
+    text = bar_chart(values, width=30)
+    assert len(text.splitlines()) == len(values)
+
+
+@given(
+    points=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=64),
+            st.floats(min_value=0, max_value=32, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_curve_plot_never_crashes(points):
+    text = curve_plot({"off": points, "on": points}, width=40, height=10)
+    assert "+" in text

@@ -1,0 +1,165 @@
+"""Tests for scenario descriptions and the experiment runner."""
+
+import pytest
+
+from repro.apps import UniformApp
+from repro.kernel import KernelConfig
+from repro.machine import MachineConfig
+from repro.sim import units
+from repro.workloads import (
+    AppSpec,
+    Scenario,
+    UncontrolledSpec,
+    run_scenario,
+)
+
+
+def small_machine():
+    return MachineConfig(
+        n_processors=4,
+        quantum=units.ms(10),
+        context_switch_cost=100,
+        cache_affinity_enabled=False,
+    )
+
+
+def uniform(name="u", n_tasks=20, cost=units.ms(5)):
+    return lambda: UniformApp(app_id=name, n_tasks=n_tasks, task_cost=cost)
+
+
+class TestScenarioValidation:
+    def test_app_spec_validation(self):
+        with pytest.raises(ValueError):
+            AppSpec(uniform(), n_processes=0)
+        with pytest.raises(ValueError):
+            AppSpec(uniform(), n_processes=2, arrival=-1)
+
+    def test_uncontrolled_spec_validation(self):
+        with pytest.raises(ValueError):
+            UncontrolledSpec(duration=0)
+        with pytest.raises(ValueError):
+            UncontrolledSpec(arrival=-5)
+
+    def test_with_override(self):
+        scenario = Scenario(apps=[AppSpec(uniform(), 2)])
+        other = scenario.with_(control="centralized")
+        assert scenario.control is None
+        assert other.control == "centralized"
+        assert other.apps is scenario.apps
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(Scenario(apps=[]))
+
+
+class TestRunScenario:
+    def test_basic_run(self):
+        result = run_scenario(
+            Scenario(apps=[AppSpec(uniform(), 4)], machine=small_machine())
+        )
+        assert result.apps["u"].tasks_completed == 20
+        assert result.apps["u"].wall_time > 0
+        assert result.sim_time >= result.apps["u"].finished_at
+        assert result.makespan == result.apps["u"].finished_at
+
+    def test_arrival_times_respected(self):
+        result = run_scenario(
+            Scenario(
+                apps=[
+                    AppSpec(uniform("first"), 2, arrival=0),
+                    AppSpec(uniform("second"), 2, arrival=units.ms(50)),
+                ],
+                machine=small_machine(),
+            )
+        )
+        assert result.apps["second"].arrival == units.ms(50)
+
+    def test_controlled_run_spins_up_server(self):
+        result = run_scenario(
+            Scenario(
+                apps=[
+                    AppSpec(uniform("a", n_tasks=60), 4),
+                    AppSpec(uniform("b", n_tasks=60), 4),
+                ],
+                control="centralized",
+                machine=small_machine(),
+                poll_interval=units.ms(20),
+                server_interval=units.ms(20),
+            )
+        )
+        assert result.server_updates >= 1
+        # 8 processes on 4 CPUs: the apps were told to shrink.
+        total_susp = sum(r.suspensions for r in result.apps.values())
+        assert total_susp >= 1
+
+    def test_uncontrolled_processes_reduce_targets(self):
+        result = run_scenario(
+            Scenario(
+                apps=[AppSpec(uniform("a", n_tasks=80), 4)],
+                uncontrolled=[
+                    UncontrolledSpec(name="hog", duration=units.seconds(30)),
+                    UncontrolledSpec(name="hog2", duration=units.seconds(30)),
+                ],
+                control="centralized",
+                machine=small_machine(),
+                poll_interval=units.ms(20),
+                server_interval=units.ms(20),
+            )
+        )
+        # 4 CPUs - 2 hogs = 2 for the app.
+        assert result.apps["a"].suspensions >= 1
+
+    def test_runnable_series_populated(self):
+        result = run_scenario(
+            Scenario(apps=[AppSpec(uniform(), 3)], machine=small_machine())
+        )
+        assert result.runnable_total.maximum() >= 3
+        assert "u" in result.runnable_per_app
+
+    def test_utilization_sums_to_elapsed(self):
+        result = run_scenario(
+            Scenario(apps=[AppSpec(uniform(), 2)], machine=small_machine())
+        )
+        total = sum(result.utilization.values())
+        assert total == 4 * result.sim_time
+
+    def test_determinism(self):
+        def once():
+            return run_scenario(
+                Scenario(
+                    apps=[AppSpec(uniform(), 4)],
+                    machine=small_machine(),
+                    seed=3,
+                )
+            ).apps["u"].wall_time
+
+        assert once() == once()
+
+    def test_max_time_guard(self):
+        from repro.sim.engine import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_scenario(
+                Scenario(
+                    apps=[AppSpec(uniform(n_tasks=200, cost=units.ms(50)), 1)],
+                    machine=small_machine(),
+                    max_time=units.ms(100),
+                )
+            )
+
+    def test_wall_time_accessor(self):
+        result = run_scenario(
+            Scenario(apps=[AppSpec(uniform(), 2)], machine=small_machine())
+        )
+        assert result.wall_time("u") == result.apps["u"].wall_time
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "decay", "affinity"])
+    def test_alternative_schedulers_via_scenario(self, scheduler):
+        result = run_scenario(
+            Scenario(
+                apps=[AppSpec(uniform(), 4)],
+                machine=small_machine(),
+                scheduler=scheduler,
+            )
+        )
+        assert result.apps["u"].tasks_completed == 20
