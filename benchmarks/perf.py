@@ -1,0 +1,95 @@
+"""Perf-trajectory harness: events/sec and wall time per experiment.
+
+Records each headline experiment's wall-clock time, simulator event count,
+and event throughput into ``BENCH_perf.json`` at the repository root, so
+successive PRs can see the speedup curve instead of guessing from CI noise.
+
+The file is merge-written: re-measuring one experiment updates its entry
+and leaves the others alone.  Sweeps run serially (``jobs=1``) -- the
+event meter only sees the measuring process, and serial runs make the
+throughput number comparable across hosts with different core counts.
+
+Run directly::
+
+    PYTHONPATH=src:. python -m benchmarks.perf [experiment ...]
+
+or via pytest (``benchmarks/test_bench_perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.steady_state import run_steady_state
+from repro.workloads import runner
+
+#: Where the trajectory lands: the repository root.
+PERF_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Quick-preset slices: tens of thousands of events each (enough to put
+#: the measurement in the hot loops), small enough for a CI smoke job.
+EXPERIMENTS = {
+    "figure1": lambda: run_figure1(preset="quick", counts=(8, 16, 24), jobs=1),
+    "figure3": lambda: run_figure3(
+        preset="quick", apps=("fft", "matmul"), counts=(4, 16, 24), jobs=1
+    ),
+    "figure4": lambda: run_figure4(preset="quick"),
+    "steady_state": lambda: run_steady_state(preset="quick", jobs=1),
+}
+
+
+def measure(name: str) -> Dict[str, object]:
+    """Run one experiment once, metered; return its perf record."""
+    fn = EXPERIMENTS[name]
+    with runner.metered() as meter:
+        start = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 4),
+        "events": meter.events,
+        "events_per_sec": round(meter.events / wall) if wall > 0 else 0,
+        "scenario_runs": meter.runs,
+    }
+
+
+def record(names: Optional[Iterable[str]] = None, path: Path = PERF_PATH) -> Dict:
+    """Measure *names* (default: all experiments) and merge into *path*."""
+    selected = list(names) if names is not None else list(EXPERIMENTS)
+    data: Dict[str, object] = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            data = {}  # corrupt or unreadable: start the trajectory over
+    for name in selected:
+        data[name] = measure(name)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def main(argv: Optional[Iterable[str]] = None) -> None:
+    names = list(argv if argv is not None else sys.argv[1:]) or None
+    for name in names or []:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+            )
+    data = record(names)
+    for name, entry in sorted(data.items()):
+        print(
+            f"{name:>14}: {entry['wall_s']:8.3f}s  "
+            f"{entry['events']:>9} events  {entry['events_per_sec']:>9} ev/s"
+        )
+    print(f"wrote {PERF_PATH}")
+
+
+if __name__ == "__main__":
+    main()

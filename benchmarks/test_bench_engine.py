@@ -117,3 +117,55 @@ def test_small_controlled_scenario(benchmark):
 
     result = benchmark(run)
     assert all(r.tasks_completed == 60 for r in result.apps.values())
+
+
+def _ready_pool_kernel(n: int):
+    """A kernel whose decay scheduler holds *n* READY processes."""
+    from repro.kernel.scheduler.decay import PriorityDecayScheduler
+
+    kernel = Kernel(
+        machine=Machine(
+            MachineConfig(n_processors=1, cache_affinity_enabled=False)
+        ),
+        policy=PriorityDecayScheduler(),
+    )
+
+    def hog():
+        yield sc.Compute(units.ms(1))
+
+    for i in range(n):
+        kernel.spawn(hog(), name=f"p{i}")
+    return kernel
+
+
+def _bench_dequeue_cycle(benchmark, n: int):
+    """Per-op cost of a full drain-and-refill of the decay run queue.
+
+    Locks in the O(log n) dequeue: the amortized per-process cost should
+    grow only logarithmically from 16 to 256 runnable processes, where the
+    old implementation rescanned every runnable process per dequeue
+    (O(n) per op, O(n^2) per cycle).
+    """
+    policy = _ready_pool_kernel(n).policy
+
+    def cycle():
+        processes = [policy.dequeue(0) for _ in range(n)]
+        for process in processes:
+            policy.enqueue(process, "preempted")
+        return processes
+
+    processes = benchmark(cycle)
+    assert len(processes) == n
+    assert all(p is not None for p in processes)
+
+
+def test_decay_dequeue_16_runnable(benchmark):
+    _bench_dequeue_cycle(benchmark, 16)
+
+
+def test_decay_dequeue_64_runnable(benchmark):
+    _bench_dequeue_cycle(benchmark, 64)
+
+
+def test_decay_dequeue_256_runnable(benchmark):
+    _bench_dequeue_cycle(benchmark, 256)

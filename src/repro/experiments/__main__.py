@@ -9,7 +9,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 
+from repro.experiments.parallel import JOBS_ENV_VAR
 from repro.experiments import (
     ablations,
     claims,
@@ -51,7 +53,20 @@ def main() -> None:
         default="paper",
         help="paper = full-size workloads; quick = reduced (for smoke runs)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep fan-out (default: $REPRO_JOBS, "
+        "then the CPU count); 1 forces serial execution",
+    )
     args = parser.parse_args()
+    if args.jobs is not None:
+        # The sweep runners consult REPRO_JOBS; routing the flag through
+        # the environment reaches every experiment without threading a
+        # jobs parameter into each main().
+        os.environ[JOBS_ENV_VAR] = str(args.jobs)
     if args.experiment == "all":
         for name in sorted(_EXPERIMENTS):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

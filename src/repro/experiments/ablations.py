@@ -27,6 +27,7 @@ from repro.experiments.config import (
     poll_interval as preset_poll_interval,
 )
 from repro.experiments.figure4 import figure4_scenario
+from repro.experiments.parallel import parallel_map
 from repro.machine import MachineConfig
 from repro.metrics import format_table
 from repro.sim import units
@@ -43,30 +44,41 @@ ABLATION_SCHEDULERS = (
 )
 
 
+def _scheduler_comparison_cell(args) -> Dict[str, object]:
+    """Sweep cell: Figure 4 mix under one (scheduler, control) pair."""
+    scheduler, control, preset, seed = args
+    scenario = figure4_scenario(
+        control, preset=preset, seed=seed, scheduler=scheduler
+    )
+    if scheduler == "nopreempt":
+        scenario = scenario.with_(use_no_preempt_flags=True)
+    result = run_scenario(scenario)
+    row: Dict[str, object] = {
+        "scheduler": scheduler,
+        "control": "on" if control else "off",
+        "makespan_s": result.makespan / 1e6,
+        "spin_s": result.total_spin_time / 1e6,
+        "cs_preemptions": result.total_cs_preemptions,
+    }
+    for app_id, app_result in result.apps.items():
+        row[f"wall_{app_id}_s"] = app_result.wall_time / 1e6
+    return row
+
+
 def run_scheduler_comparison(
-    preset: str = "quick", seed: int = 0
+    preset: str = "quick", seed: int = 0, jobs: Optional[int] = None
 ) -> List[Dict[str, object]]:
-    """Figure 4 mix under every scheduler, control off and on."""
-    rows: List[Dict[str, object]] = []
-    for scheduler in ABLATION_SCHEDULERS:
-        for control in (None, "centralized"):
-            scenario = figure4_scenario(
-                control, preset=preset, seed=seed, scheduler=scheduler
-            )
-            if scheduler == "nopreempt":
-                scenario = scenario.with_(use_no_preempt_flags=True)
-            result = run_scenario(scenario)
-            row: Dict[str, object] = {
-                "scheduler": scheduler,
-                "control": "on" if control else "off",
-                "makespan_s": result.makespan / 1e6,
-                "spin_s": result.total_spin_time / 1e6,
-                "cs_preemptions": result.total_cs_preemptions,
-            }
-            for app_id, app_result in result.apps.items():
-                row[f"wall_{app_id}_s"] = app_result.wall_time / 1e6
-            rows.append(row)
-    return rows
+    """Figure 4 mix under every scheduler, control off and on.
+
+    Twelve independent runs (6 schedulers x off/on), fanned out over
+    :func:`parallel_map`.
+    """
+    cells = [
+        (scheduler, control, preset, seed)
+        for scheduler in ABLATION_SCHEDULERS
+        for control in (None, "centralized")
+    ]
+    return parallel_map(_scheduler_comparison_cell, cells, jobs)
 
 
 def _single_app_run(
@@ -279,30 +291,33 @@ def run_machine_width_sweep(
     return rows
 
 
+def _seed_stability_cell(args) -> Dict[str, object]:
+    """Sweep cell: the off/on makespan pair for one seed."""
+    preset, seed = args
+    off = run_scenario(figure4_scenario(None, preset=preset, seed=seed))
+    on = run_scenario(figure4_scenario("centralized", preset=preset, seed=seed))
+    return {
+        "seed": seed,
+        "makespan_off_s": off.makespan / 1e6,
+        "makespan_on_s": on.makespan / 1e6,
+        "gain": off.makespan / on.makespan,
+    }
+
+
 def run_seed_stability(
     preset: str = "quick",
     seeds: tuple = (0, 1, 2, 3, 4),
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Robustness of the headline result across random seeds.
 
     The applications carry seeded per-task cost jitter; this replication
     shows the Figure 4 improvement is a property of the system, not of one
-    lucky draw.
+    lucky draw.  One :func:`parallel_map` cell per seed.
     """
-    rows = []
-    for seed in seeds:
-        off = run_scenario(figure4_scenario(None, preset=preset, seed=seed))
-        on = run_scenario(
-            figure4_scenario("centralized", preset=preset, seed=seed)
-        )
-        rows.append(
-            {
-                "seed": seed,
-                "makespan_off_s": off.makespan / 1e6,
-                "makespan_on_s": on.makespan / 1e6,
-                "gain": off.makespan / on.makespan,
-            }
-        )
+    rows = parallel_map(
+        _seed_stability_cell, [(preset, seed) for seed in seeds], jobs
+    )
     gains = [row["gain"] for row in rows]
     rows.append(
         {

@@ -14,13 +14,14 @@ exceed processors -- and keep falling as the count grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import (
     app_factories,
     paper_scenario_defaults,
     process_counts,
 )
+from repro.experiments.parallel import parallel_map
 from repro.metrics import format_table, speedup
 from repro.workloads import AppSpec, Scenario, run_scenario
 
@@ -47,50 +48,72 @@ class Figure1Result:
         return best.n_processes
 
 
+def _baseline_cell(args) -> int:
+    """Sweep cell: single-process wall time of one application."""
+    name, preset, seed = args
+    defaults = paper_scenario_defaults(preset, seed)
+    factories = app_factories(preset, seed)
+    result = run_scenario(
+        Scenario(
+            apps=[AppSpec(factories[name], 1)],
+            control=None,
+            machine=defaults.machine,
+            scheduler=defaults.scheduler,
+            seed=seed,
+        )
+    )
+    return result.apps[name].wall_time
+
+
+def _sweep_cell(args):
+    """Sweep cell: (matmul, fft) wall times at one processes-per-app point."""
+    n, preset, seed = args
+    defaults = paper_scenario_defaults(preset, seed)
+    factories = app_factories(preset, seed)
+    result = run_scenario(
+        Scenario(
+            apps=[
+                AppSpec(factories["matmul"], n),
+                AppSpec(factories["fft"], n),
+            ],
+            control=None,
+            machine=defaults.machine,
+            scheduler=defaults.scheduler,
+            seed=seed,
+        )
+    )
+    return result.apps["matmul"].wall_time, result.apps["fft"].wall_time
+
+
 def run_figure1(
     preset: str = "paper",
     counts: Sequence[int] = (),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Figure1Result:
-    """Reproduce Figure 1's two curves."""
-    defaults = paper_scenario_defaults(preset, seed)
-    factories = app_factories(preset, seed)
+    """Reproduce Figure 1's two curves.
+
+    Every point of the sweep is an independent simulation, so the sweep
+    fans out over :func:`repro.experiments.parallel.parallel_map` (*jobs*
+    workers, default ``REPRO_JOBS`` / cpu count) with bit-identical
+    results in any mode.
+    """
     sweep = tuple(counts) or process_counts(preset)
 
-    t1: Dict[str, int] = {}
-    for name in ("matmul", "fft"):
-        result = run_scenario(
-            Scenario(
-                apps=[AppSpec(factories[name], 1)],
-                control=None,
-                machine=defaults.machine,
-                scheduler=defaults.scheduler,
-                seed=seed,
-            )
-        )
-        t1[name] = result.apps[name].wall_time
+    baselines = parallel_map(
+        _baseline_cell, [(name, preset, seed) for name in ("matmul", "fft")], jobs
+    )
+    t1: Dict[str, int] = {"matmul": baselines[0], "fft": baselines[1]}
 
-    rows: List[Figure1Row] = []
-    for n in sweep:
-        result = run_scenario(
-            Scenario(
-                apps=[
-                    AppSpec(factories["matmul"], n),
-                    AppSpec(factories["fft"], n),
-                ],
-                control=None,
-                machine=defaults.machine,
-                scheduler=defaults.scheduler,
-                seed=seed,
-            )
+    walls = parallel_map(_sweep_cell, [(n, preset, seed) for n in sweep], jobs)
+    rows: List[Figure1Row] = [
+        Figure1Row(
+            n_processes=n,
+            speedup_matmul=speedup(t1["matmul"], wall_matmul),
+            speedup_fft=speedup(t1["fft"], wall_fft),
         )
-        rows.append(
-            Figure1Row(
-                n_processes=n,
-                speedup_matmul=speedup(t1["matmul"], result.apps["matmul"].wall_time),
-                speedup_fft=speedup(t1["fft"], result.apps["fft"].wall_time),
-            )
-        )
+        for n, (wall_matmul, wall_fft) in zip(sweep, walls)
+    ]
     return Figure1Result(rows=rows, t1=t1, preset=preset)
 
 

@@ -19,7 +19,7 @@ Expected shape (the paper's three observations):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import (
     app_factories,
@@ -27,6 +27,7 @@ from repro.experiments.config import (
     poll_interval,
     process_counts,
 )
+from repro.experiments.parallel import parallel_map
 from repro.metrics import format_table, speedup
 from repro.workloads import AppSpec, Scenario, run_scenario
 
@@ -58,40 +59,55 @@ class Figure3Result:
     preset: str
 
 
+def _figure3_cell(args) -> int:
+    """Sweep cell: one application's wall time at one (n, control) point."""
+    app, n, control, preset, seed = args
+    defaults = paper_scenario_defaults(preset, seed)
+    factory = app_factories(preset, seed)[app]
+    result = run_scenario(
+        Scenario(
+            apps=[AppSpec(factory, n)],
+            control=control,
+            machine=defaults.machine,
+            scheduler=defaults.scheduler,
+            poll_interval=poll_interval(preset),
+            server_interval=poll_interval(preset),
+            seed=seed,
+        )
+    )
+    return result.apps[app].wall_time
+
+
+def _app_cells(app: str, sweep, preset: str, seed: int):
+    """All of one application's sweep cells: baseline, then off/on per n."""
+    cells = [(app, 1, None, preset, seed)]
+    for n in sweep:
+        cells.append((app, n, None, preset, seed))
+        cells.append((app, n, "centralized", preset, seed))
+    return cells
+
+
+def _curve_from_walls(app: str, sweep, walls: List[int]) -> Figure3Curve:
+    """Assemble one curve pair from the cell results of :func:`_app_cells`."""
+    t1 = walls[0]
+    off = [speedup(t1, walls[1 + 2 * i]) for i in range(len(sweep))]
+    on = [speedup(t1, walls[2 + 2 * i]) for i in range(len(sweep))]
+    return Figure3Curve(
+        app=app, t1=t1, counts=list(sweep), speedup_off=off, speedup_on=on
+    )
+
+
 def run_figure3_app(
     app: str,
     preset: str = "paper",
     counts: Sequence[int] = (),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Figure3Curve:
     """Both curves for one application."""
-    defaults = paper_scenario_defaults(preset, seed)
-    factory = app_factories(preset, seed)[app]
     sweep = tuple(counts) or process_counts(preset)
-
-    def one_run(n: int, control):
-        result = run_scenario(
-            Scenario(
-                apps=[AppSpec(factory, n)],
-                control=control,
-                machine=defaults.machine,
-                scheduler=defaults.scheduler,
-                poll_interval=poll_interval(preset),
-                server_interval=poll_interval(preset),
-                seed=seed,
-            )
-        )
-        return result.apps[app].wall_time
-
-    t1 = one_run(1, None)
-    off: List[float] = []
-    on: List[float] = []
-    for n in sweep:
-        off.append(speedup(t1, one_run(n, None)))
-        on.append(speedup(t1, one_run(n, "centralized")))
-    return Figure3Curve(
-        app=app, t1=t1, counts=list(sweep), speedup_off=off, speedup_on=on
-    )
+    walls = parallel_map(_figure3_cell, _app_cells(app, sweep, preset, seed), jobs)
+    return _curve_from_walls(app, sweep, walls)
 
 
 def run_figure3(
@@ -99,11 +115,24 @@ def run_figure3(
     apps: Sequence[str] = FIGURE3_APPS,
     counts: Sequence[int] = (),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Figure3Result:
-    """All four applications' curve pairs."""
+    """All four applications' curve pairs.
+
+    The whole figure -- every (application, process count, control) cell --
+    is flattened into one :func:`parallel_map` fan-out, so a many-core host
+    overlaps the four applications' sweeps instead of finishing them one
+    curve at a time.
+    """
+    sweep = tuple(counts) or process_counts(preset)
+    cells = []
+    for app in apps:
+        cells.extend(_app_cells(app, sweep, preset, seed))
+    walls = parallel_map(_figure3_cell, cells, jobs)
+    per_app = 1 + 2 * len(sweep)
     curves = {
-        app: run_figure3_app(app, preset=preset, counts=counts, seed=seed)
-        for app in apps
+        app: _curve_from_walls(app, sweep, walls[i * per_app : (i + 1) * per_app])
+        for i, app in enumerate(apps)
     }
     return Figure3Result(curves=curves, preset=preset)
 

@@ -14,10 +14,11 @@ machine) -- the long-run metric a time-sharing facility would care about.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps import FFT, Gauss, MatMul, MergeSort
 from repro.experiments.config import paper_machine, poll_interval
+from repro.experiments.parallel import parallel_map
 from repro.metrics import format_table
 from repro.sim import units
 from repro.workloads import Scenario, run_scenario
@@ -71,13 +72,46 @@ def _workload_config(preset: str) -> GeneratedWorkloadConfig:
     )
 
 
-def run_steady_state(preset: str = "quick", seed: int = 0) -> SteadyStateResult:
-    """Generate one workload and run it with control off and on."""
+def _steady_state_cell(args) -> Dict[str, object]:
+    """Sweep cell: one control mode's full run, reduced to plain data.
+
+    The workload is regenerated inside the worker from (preset, seed) --
+    generation is deterministic, and shipping plain arguments keeps the
+    cell picklable.
+    """
+    control, preset, seed = args
+    config = _workload_config(preset)
+    arrivals = generate_arrivals(config, seed=seed)
+    interval = poll_interval(preset)
+    scenario = Scenario(
+        apps=build_app_specs(arrivals, default_templates(), seed=seed),
+        control=control,
+        machine=paper_machine(),
+        scheduler="decay",
+        poll_interval=interval,
+        server_interval=interval,
+        seed=seed,
+        max_time=units.seconds(7200),
+    )
+    result = run_scenario(scenario)
+    return {
+        "makespan": result.makespan,
+        "walls": {app_id: app.wall_time for app_id, app in result.apps.items()},
+    }
+
+
+def run_steady_state(
+    preset: str = "quick", seed: int = 0, jobs: Optional[int] = None
+) -> SteadyStateResult:
+    """Generate one workload and run it with control off and on.
+
+    The off and on runs are independent simulations of the same generated
+    workload, so they fan out as two :func:`parallel_map` cells.
+    """
     config = _workload_config(preset)
     arrivals = generate_arrivals(config, seed=seed)
     templates = default_templates()
     machine = paper_machine()
-    interval = poll_interval(preset)
 
     ideals = {}
     for generated in arrivals:
@@ -86,19 +120,12 @@ def run_steady_state(preset: str = "quick", seed: int = 0) -> SteadyStateResult:
         )
         ideals[generated.app_id] = app.total_work() / machine.n_processors
 
-    results = {}
-    for control in (None, "centralized"):
-        scenario = Scenario(
-            apps=build_app_specs(arrivals, templates, seed=seed),
-            control=control,
-            machine=machine,
-            scheduler="decay",
-            poll_interval=interval,
-            server_interval=interval,
-            seed=seed,
-            max_time=units.seconds(7200),
-        )
-        results[control] = run_scenario(scenario)
+    reduced = parallel_map(
+        _steady_state_cell,
+        [(control, preset, seed) for control in (None, "centralized")],
+        jobs,
+    )
+    results = {None: reduced[0], "centralized": reduced[1]}
 
     per_app: List[Dict[str, object]] = []
     slowdowns = {None: [], "centralized": []}
@@ -109,7 +136,7 @@ def run_steady_state(preset: str = "quick", seed: int = 0) -> SteadyStateResult:
             "arrival_s": generated.arrival / 1e6,
         }
         for control, label in ((None, "off"), ("centralized", "on")):
-            wall = results[control].apps[generated.app_id].wall_time
+            wall = results[control]["walls"][generated.app_id]
             slowdown = wall / max(ideals[generated.app_id], 1)
             slowdowns[control].append(slowdown)
             row[f"slowdown_{label}"] = slowdown
@@ -117,8 +144,8 @@ def run_steady_state(preset: str = "quick", seed: int = 0) -> SteadyStateResult:
 
     return SteadyStateResult(
         n_apps=len(arrivals),
-        makespan_off_s=results[None].makespan / 1e6,
-        makespan_on_s=results["centralized"].makespan / 1e6,
+        makespan_off_s=results[None]["makespan"] / 1e6,
+        makespan_on_s=results["centralized"]["makespan"] / 1e6,
         mean_slowdown_off=sum(slowdowns[None]) / len(slowdowns[None]),
         mean_slowdown_on=sum(slowdowns["centralized"])
         / len(slowdowns["centralized"]),

@@ -20,6 +20,7 @@ Mechanisms reproduced from the paper's platform:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.kernel.config import KernelConfig
@@ -72,11 +73,41 @@ class Kernel:
 
         self.processes: Dict[int, Process] = {}
         self._next_pid = 1
+        self._alive_nondaemon = 0
+        self.engine.done_hint = True  # no processes yet; see run_until_done
         self._cpu: List[_CpuState] = [
             _CpuState() for _ in range(self.machine.n_processors)
         ]
         self._dispatch_scheduled = False
         self._last_runnable: Optional[tuple] = None
+        # Hot-path caches: the processor list never changes after
+        # construction, and the per-cpu completion callbacks close over
+        # nothing but the cpu index, so minting a fresh closure per
+        # scheduled segment/quantum event would be pure allocation churn.
+        # functools.partial beats an equivalent lambda here: calling it
+        # enters the bound method directly instead of an extra frame.
+        self._processors = self.machine.processors
+        self._cache = self.machine.cache
+        # Pre-bound engine.schedule: the engine is fixed for the kernel's
+        # lifetime, and hot paths schedule hundreds of thousands of events.
+        self._schedule = self.engine.schedule
+        n = self.machine.n_processors
+        self._cb_begin_service = [partial(self._begin_service, c) for c in range(n)]
+        self._cb_micro_done = [partial(self._micro_done, c) for c in range(n)]
+        self._cb_compute_done = [partial(self._compute_done, c) for c in range(n)]
+        self._cb_quantum_expired = [
+            partial(self._quantum_expired, c) for c in range(n)
+        ]
+        # Trace-filter verdicts for the two highest-frequency categories.
+        # Filters are fixed at TraceLog construction, so deciding once here
+        # spares building (and discarding) a kwargs dict per dispatch/preempt.
+        self._want_dispatch_trace = self.trace.wants("kernel.dispatch")
+        self._want_preempt_trace = self.trace.wants("kernel.preempt")
+        # Policy methods called once or more per dispatch/quantum event.
+        self._policy_enqueue = self.policy.enqueue
+        self._policy_dequeue = self.policy.dequeue
+        self._policy_has_waiting = self.policy.has_waiting
+        self._policy_quantum_for = self.policy.quantum_for
         #: Callbacks invoked with the Process whenever one terminates.
         self.exit_listeners: List[Callable[[Process], None]] = []
 
@@ -86,7 +117,11 @@ class Kernel:
 
     @property
     def now(self) -> int:
-        """Current simulation time in microseconds."""
+        """Current simulation time in microseconds.
+
+        Kernel-internal hot paths read ``self.engine.now`` directly (a plain
+        attribute) instead of paying this property's descriptor hop.
+        """
         return self.engine.now
 
     def spawn(
@@ -114,14 +149,17 @@ class Kernel:
             ppid=ppid,
         )
         process.cache_footprint = cache_footprint
-        process.spawn_time = self.now
+        process.spawn_time = self.engine.now
         process.state = ProcessState.READY
-        process.ready_since = self.now
+        process.ready_since = self.engine.now
         self.processes[pid] = process
+        if not daemon:
+            self._alive_nondaemon += 1
+            self.engine.done_hint = False
         self.policy.on_process_spawn(process)
         self.policy.enqueue(process, "new")
         self.trace.emit(
-            self.now, "kernel.spawn", pid=pid, name=name, app_id=app_id
+            self.engine.now, "kernel.spawn", pid=pid, name=name, app_id=app_id
         )
         self._note_runnable_change()
         self._request_dispatch()
@@ -144,8 +182,13 @@ class Kernel:
         return counts
 
     def alive_nondaemon_count(self) -> int:
-        """Processes that keep an experiment alive (non-daemon, not exited)."""
-        return sum(1 for p in self.processes.values() if p.alive and not p.daemon)
+        """Processes that keep an experiment alive (non-daemon, not exited).
+
+        Maintained as a counter (updated at spawn/exit): completion
+        predicates consult this once per event, so an O(processes) scan
+        here would dominate long oversubscribed runs.
+        """
+        return self._alive_nondaemon
 
     def processes_of_app(self, app_id: str) -> List[Process]:
         """All (alive or dead) processes tagged with *app_id*."""
@@ -153,7 +196,7 @@ class Kernel:
 
     def force_preempt(self, cpu: int) -> None:
         """Preempt whatever runs on *cpu* now (used by gang scheduling)."""
-        if self.machine.processors[cpu].current is not None:
+        if self._processors[cpu].current is not None:
             self._preempt(cpu, reason="policy")
 
     def request_dispatch(self) -> None:
@@ -165,31 +208,29 @@ class Kernel:
         done: Optional[Callable[[], bool]] = None,
         max_events: int = 50_000_000,
         max_time: Optional[int] = None,
+        done_exit_gated: bool = False,
     ) -> None:
         """Step the engine until *done* returns True (default: all non-daemon
         processes have terminated), the calendar empties, or a guard trips.
+
+        Pass ``done_exit_gated=True`` if the supplied *done* can only be
+        true once every non-daemon process has exited (true of the normal
+        experiment predicates): the event loop then skips the predicate
+        call while the kernel's live-process counter is nonzero, which is
+        observably identical but markedly cheaper on long runs.
 
         Raises :class:`SimulationError` on the event guard; raises on time
         guard as well, since hitting either means a hang in an experiment.
         """
         if done is None:
             done = lambda: self.alive_nondaemon_count() == 0  # noqa: E731
-        fired = 0
-        while not done():
-            if not self.engine.step():
-                if done():
-                    break
-                raise SimulationError(
-                    "event calendar empty but completion predicate is false: "
-                    "the workload is deadlocked"
-                )
-            fired += 1
-            if fired > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
-            if max_time is not None and self.now > max_time:
-                raise SimulationError(
-                    f"simulated time exceeded max_time={max_time}us"
-                )
+            done_exit_gated = True
+        self.engine.run_until_done(
+            done,
+            max_events=max_events,
+            max_time=max_time,
+            exit_gated=done_exit_gated,
+        )
 
     # ------------------------------------------------------------------
     # Accounting helpers
@@ -198,7 +239,13 @@ class Kernel:
     def _mark(self, cpu: int, new_kind: str) -> None:
         """Close the current accounting interval on *cpu*, open *new_kind*."""
         state = self._cpu[cpu]
-        self.machine.processors[cpu].account(self.now, state.kind)
+        processor = self._processors[cpu]
+        now = self.engine.now
+        # Zero-length intervals are common (undispatch immediately followed
+        # by dispatch at the same microsecond); account() would only
+        # restamp its bookkeeping, so skip the call.
+        if now != processor._last_accounted:
+            processor.account(now, state.kind)
         state.kind = new_kind
 
     def finalize_accounting(self) -> None:
@@ -224,7 +271,7 @@ class Kernel:
         if snapshot != self._last_runnable:
             self._last_runnable = snapshot
             self.trace.emit(
-                self.now, "kernel.runnable", total=total, per_app=dict(per_app)
+                self.engine.now, "kernel.runnable", total=total, per_app=dict(per_app)
             )
 
     # ------------------------------------------------------------------
@@ -239,13 +286,13 @@ class Kernel:
     def _dispatch_pass(self) -> None:
         self._dispatch_scheduled = False
         for cpu in range(self.machine.n_processors):
-            if self.machine.processors[cpu].current is None:
-                process = self.policy.dequeue(cpu)
+            if self._processors[cpu].current is None:
+                process = self._policy_dequeue(cpu)
                 if process is not None:
                     self._dispatch(cpu, process)
 
     def _dispatch(self, cpu: int, process: Process) -> None:
-        processor = self.machine.processors[cpu]
+        processor = self._processors[cpu]
         if processor.current is not None:
             raise SimulationError(f"dispatch onto busy cpu {cpu}")
         if process.state is not ProcessState.READY:
@@ -255,15 +302,17 @@ class Kernel:
         state = self._cpu[cpu]
         mconfig = self.machine.config
         reload_penalty = int(
-            self.machine.cache.reload_penalty(cpu, process.pid)
+            self._cache.reload_penalty(cpu, process.pid)
             * process.cache_footprint
         )
         overhead = (
             mconfig.context_switch_cost + mconfig.dispatch_latency + reload_penalty
         )
 
+        engine = self.engine
+        now = engine.now
         if process.ready_since is not None:
-            process.stats.ready_wait_time += self.now - process.ready_since
+            process.stats.ready_wait_time += now - process.ready_since
             process.ready_since = None
         process.state = ProcessState.RUNNING
         process.cpu = cpu
@@ -272,24 +321,25 @@ class Kernel:
         processor.dispatches += 1
 
         self._mark(cpu, "overhead")
-        state.stint_started = self.now
+        state.stint_started = now
         state.segment_kind = "overhead"
-        state.segment_started = self.now
-        quantum = self.policy.quantum_for(process, cpu)
-        state.quantum_event = self.engine.schedule(
-            overhead + quantum, lambda: self._quantum_expired(cpu), "quantum"
+        state.segment_started = now
+        quantum = self._policy_quantum_for(process, cpu)
+        state.quantum_event = self._schedule(
+            overhead + quantum, self._cb_quantum_expired[cpu], "quantum"
         )
-        state.segment_event = self.engine.schedule(
-            overhead, lambda: self._begin_service(cpu), "begin-service"
+        state.segment_event = self._schedule(
+            overhead, self._cb_begin_service[cpu], "begin-service"
         )
-        self.trace.emit(
-            self.now,
-            "kernel.dispatch",
-            pid=process.pid,
-            cpu=cpu,
-            overhead=overhead,
-            reload=reload_penalty,
-        )
+        if self._want_dispatch_trace:
+            self.trace.emit(
+                now,
+                "kernel.dispatch",
+                pid=process.pid,
+                cpu=cpu,
+                overhead=overhead,
+                reload=reload_penalty,
+            )
 
     def _begin_service(self, cpu: int) -> None:
         state = self._cpu[cpu]
@@ -300,14 +350,15 @@ class Kernel:
 
     def _undispatch(self, cpu: int) -> Process:
         """Take the current process off *cpu*, settling all accounting."""
-        processor = self.machine.processors[cpu]
+        processor = self._processors[cpu]
         state = self._cpu[cpu]
         process = processor.current
         if process is None:
             raise SimulationError(f"undispatch of idle cpu {cpu}")
 
+        now = self.engine.now
         if state.segment_kind == "compute":
-            ran = self.now - state.segment_started
+            ran = now - state.segment_started
             syscall = process.pending_syscall
             if not isinstance(syscall, sc.Compute):
                 raise SimulationError("compute segment without Compute syscall")
@@ -326,8 +377,8 @@ class Kernel:
             state.quantum_event = None
         state.segment_kind = None
 
-        self.machine.cache.note_execution(
-            cpu, process.pid, self.now - state.stint_started
+        self._cache.note_execution(
+            cpu, process.pid, now - state.stint_started
         )
         processor.current = None
         process.cpu = None
@@ -338,7 +389,7 @@ class Kernel:
     def _settle_spin(self, cpu: int, process: Process) -> None:
         """Account a spinning interval ending now and detach from the lock."""
         state = self._cpu[cpu]
-        elapsed = self.now - state.segment_started
+        elapsed = self.engine.now - state.segment_started
         lock = process.spinning_on
         if lock is None:
             raise SimulationError("spin segment without a lock")
@@ -355,27 +406,27 @@ class Kernel:
     def _quantum_expired(self, cpu: int) -> None:
         state = self._cpu[cpu]
         state.quantum_event = None
-        process = self.machine.processors[cpu].current
+        process = self._processors[cpu].current
         if process is None:
             return
         if process.no_preempt and not process.deferred_preempt:
             # Zahorjan scheme: honour the flag once, for a bounded grace.
             process.deferred_preempt = True
-            state.quantum_event = self.engine.schedule(
+            state.quantum_event = self._schedule(
                 self.config.nopreempt_grace,
-                lambda: self._quantum_expired(cpu),
+                self._cb_quantum_expired[cpu],
                 "quantum-grace",
             )
             self.trace.emit(
-                self.now, "kernel.preempt_deferred", pid=process.pid, cpu=cpu
+                self.engine.now, "kernel.preempt_deferred", pid=process.pid, cpu=cpu
             )
             return
-        if not self.policy.has_waiting(cpu):
+        if not self._policy_has_waiting(cpu):
             # Nobody is waiting: extend the current process instead of a
             # pointless same-process context switch.
-            quantum = self.policy.quantum_for(process, cpu)
-            state.quantum_event = self.engine.schedule(
-                quantum, lambda: self._quantum_expired(cpu), "quantum"
+            quantum = self._policy_quantum_for(process, cpu)
+            state.quantum_event = self._schedule(
+                quantum, self._cb_quantum_expired[cpu], "quantum"
             )
             return
         self._preempt(cpu, reason="quantum")
@@ -388,16 +439,17 @@ class Kernel:
         if in_cs:
             process.stats.preemptions_in_critical_section += 1
         process.state = ProcessState.READY
-        process.ready_since = self.now
-        self.policy.enqueue(process, "preempted")
-        self.trace.emit(
-            self.now,
-            "kernel.preempt",
-            pid=process.pid,
-            cpu=cpu,
-            reason=reason,
-            in_critical_section=in_cs,
-        )
+        process.ready_since = self.engine.now
+        self._policy_enqueue(process, "preempted")
+        if self._want_preempt_trace:
+            self.trace.emit(
+                self.engine.now,
+                "kernel.preempt",
+                pid=process.pid,
+                cpu=cpu,
+                reason=reason,
+                in_critical_section=in_cs,
+            )
         self._request_dispatch()
 
     # ------------------------------------------------------------------
@@ -408,8 +460,8 @@ class Kernel:
         process = self._undispatch(cpu)
         process.state = ProcessState.BLOCKED
         process.block_reason = reason
-        process.blocked_since = self.now
-        self.trace.emit(self.now, "kernel.block", pid=process.pid, reason=reason)
+        process.blocked_since = self.engine.now
+        self.trace.emit(self.engine.now, "kernel.block", pid=process.pid, reason=reason)
         self._note_runnable_change()
         self._request_dispatch()
         return process
@@ -420,23 +472,27 @@ class Kernel:
                 f"wake of process {process.pid} in state {process.state.name}"
             )
         if process.blocked_since is not None:
-            process.stats.block_time += self.now - process.blocked_since
+            process.stats.block_time += self.engine.now - process.blocked_since
             process.blocked_since = None
         process.block_reason = None
         process.state = ProcessState.READY
-        process.ready_since = self.now
-        self.policy.enqueue(process, "unblocked")
-        self.trace.emit(self.now, "kernel.wake", pid=process.pid)
+        process.ready_since = self.engine.now
+        self._policy_enqueue(process, "unblocked")
+        self.trace.emit(self.engine.now, "kernel.wake", pid=process.pid)
         self._note_runnable_change()
         self._request_dispatch()
 
     def _exit_current(self, cpu: int) -> None:
         process = self._undispatch(cpu)
         process.state = ProcessState.TERMINATED
-        process.exit_time = self.now
+        process.exit_time = self.engine.now
+        if not process.daemon:
+            self._alive_nondaemon -= 1
+            if self._alive_nondaemon == 0:
+                self.engine.done_hint = True
         self.machine.cache.evict_process(process.pid)
         self.policy.on_process_exit(process)
-        self.trace.emit(self.now, "kernel.exit", pid=process.pid, name=process.name)
+        self.trace.emit(self.engine.now, "kernel.exit", pid=process.pid, name=process.name)
         self._note_runnable_change()
         # Release joiners blocked in WaitPid on this process.
         joiners, process.join_waiters = process.join_waiters, []
@@ -452,20 +508,6 @@ class Kernel:
     # Syscall service loop
     # ------------------------------------------------------------------
 
-    def _advance(self, process: Process) -> Optional[Any]:
-        """Get the process's next syscall, or None if the program returned."""
-        try:
-            result = process.syscall_result
-            process.syscall_result = None
-            return process.program.send(result)
-        except StopIteration:
-            return None
-        except Exception as exc:
-            raise SimulationError(
-                f"program of process {process.pid} ({process.name!r}) raised "
-                f"{type(exc).__name__}: {exc}"
-            ) from exc
-
     def _finish_syscall(self, cpu: int, process: Process, result: Any, cost: int) -> bool:
         """Complete the pending syscall; charge *cost* as CPU time.
 
@@ -479,9 +521,9 @@ class Kernel:
         process.stats.cpu_time += cost
         state = self._cpu[cpu]
         state.segment_kind = "micro"
-        state.segment_started = self.now
-        state.segment_event = self.engine.schedule(
-            cost, lambda: self._micro_done(cpu), "micro"
+        state.segment_started = self.engine.now
+        state.segment_event = self._schedule(
+            cost, self._cb_micro_done[cpu], "micro"
         )
         return False
 
@@ -492,8 +534,7 @@ class Kernel:
         self._service(cpu)
 
     def _compute_done(self, cpu: int) -> None:
-        state = self._cpu[cpu]
-        process = self.machine.processors[cpu].current
+        process = self._processors[cpu].current
         if process is None:
             raise SimulationError("compute completion on idle cpu")
         syscall = process.pending_syscall
@@ -501,6 +542,7 @@ class Kernel:
             raise SimulationError("compute completion without Compute syscall")
         process.stats.cpu_time += syscall.remaining or 0
         syscall.remaining = 0
+        state = self._cpu[cpu]
         state.segment_event = None
         state.segment_kind = None
         process.pending_syscall = None
@@ -509,20 +551,50 @@ class Kernel:
 
     def _service(self, cpu: int) -> None:
         """Drive the current process until it blocks, computes, or exits."""
-        state = self._cpu[cpu]
+        processor = self._processors[cpu]
+        handlers = self._HANDLERS
+        compute_type = sc.Compute
         while True:
-            process = self.machine.processors[cpu].current
+            process = processor.current
             if process is None:
                 return
             syscall = process.pending_syscall
             if syscall is None:
-                syscall = self._advance(process)
-                if syscall is None:
+                # Inlined :meth:`_advance`: resume the program generator.
+                try:
+                    result = process.syscall_result
+                    process.syscall_result = None
+                    syscall = process.program.send(result)
+                except StopIteration:
                     self._exit_current(cpu)
                     return
+                except Exception as exc:
+                    raise SimulationError(
+                        f"program of process {process.pid} ({process.name!r}) "
+                        f"raised {type(exc).__name__}: {exc}"
+                    ) from exc
                 process.pending_syscall = syscall
 
-            handler = self._HANDLERS.get(type(syscall))
+            syscall_type = type(syscall)
+            if syscall_type is compute_type:
+                # Inlined :meth:`_sys_compute`: Compute dominates every
+                # workload's syscall mix, so skip the handler dispatch.
+                remaining = syscall.remaining
+                if remaining is None:
+                    remaining = syscall.remaining = syscall.amount
+                if remaining <= 0:
+                    process.pending_syscall = None
+                    process.syscall_result = None
+                    continue
+                state = self._cpu[cpu]
+                state.segment_kind = "compute"
+                state.segment_started = self.engine.now
+                state.segment_event = self._schedule(
+                    remaining, self._cb_compute_done[cpu], "compute"
+                )
+                return
+
+            handler = handlers.get(syscall_type)
             if handler is None:
                 raise SimulationError(
                     f"process {process.pid} yielded unknown syscall "
@@ -544,9 +616,9 @@ class Kernel:
             return True
         state = self._cpu[cpu]
         state.segment_kind = "compute"
-        state.segment_started = self.now
-        state.segment_event = self.engine.schedule(
-            syscall.remaining, lambda: self._compute_done(cpu), "compute"
+        state.segment_started = self.engine.now
+        state.segment_event = self._schedule(
+            syscall.remaining, self._cb_compute_done[cpu], "compute"
         )
         return False
 
@@ -555,7 +627,7 @@ class Kernel:
     ) -> bool:
         lock = syscall.lock
         if not lock.held:
-            lock.note_acquired(process.pid, self.now, contended=False)
+            lock.note_acquired(process.pid, self.engine.now, contended=False)
             process.locks_held += 1
             return self._finish_syscall(cpu, process, True, lock.acquire_cost)
         holder = self.processes.get(lock.holder_pid)
@@ -563,7 +635,7 @@ class Kernel:
         if not holder_running:
             lock.holder_preempted_encounters += 1
             self.trace.emit(
-                self.now,
+                self.engine.now,
                 "spin.holder_preempted",
                 lock=lock.name,
                 pid=process.pid,
@@ -573,10 +645,10 @@ class Kernel:
         lock.spinners.append(process)
         state = self._cpu[cpu]
         state.segment_kind = "spin"
-        state.segment_started = self.now
+        state.segment_started = self.engine.now
         self._mark(cpu, "spin")
         self.trace.emit(
-            self.now, "spin.wait", lock=lock.name, pid=process.pid, cpu=cpu
+            self.engine.now, "spin.wait", lock=lock.name, pid=process.pid, cpu=cpu
         )
         return False
 
@@ -584,7 +656,7 @@ class Kernel:
         self, cpu: int, process: Process, syscall: sc.SpinRelease
     ) -> bool:
         lock = syscall.lock
-        lock.note_released(process.pid, self.now)
+        lock.note_released(process.pid, self.engine.now)
         process.locks_held -= 1
         if process.locks_held < 0:
             raise SimulationError(
@@ -599,19 +671,19 @@ class Kernel:
                     "spinner list contained a process that is not running"
                 )
             gstate = self._cpu[gcpu]
-            elapsed = self.now - gstate.segment_started
+            elapsed = self.engine.now - gstate.segment_started
             grantee.stats.spin_time += elapsed
             lock.total_spin_time += elapsed
             grantee.spinning_on = None
-            lock.note_acquired(grantee.pid, self.now, contended=True)
+            lock.note_acquired(grantee.pid, self.engine.now, contended=True)
             grantee.locks_held += 1
             grantee.pending_syscall = None
             grantee.syscall_result = True
             self._mark(gcpu, "busy")
             gstate.segment_kind = "micro"
-            gstate.segment_started = self.now
+            gstate.segment_started = self.engine.now
             gstate.segment_event = self.engine.schedule(
-                lock.handoff_cost, lambda: self._micro_done(gcpu), "spin-handoff"
+                lock.handoff_cost, self._cb_micro_done[gcpu], "spin-handoff"
             )
         return self._finish_syscall(cpu, process, None, lock.release_cost)
 
@@ -768,7 +840,7 @@ class Kernel:
         else:
             target.pending_signals.append(syscall.payload)
         self.trace.emit(
-            self.now, "kernel.signal", src=process.pid, dst=syscall.pid
+            self.engine.now, "kernel.signal", src=process.pid, dst=syscall.pid
         )
         return self._finish_syscall(cpu, process, True, self.config.signal_cost)
 
@@ -805,9 +877,9 @@ class Kernel:
         process.syscall_result = None
         yielded = self._undispatch(cpu)
         yielded.state = ProcessState.READY
-        yielded.ready_since = self.now
+        yielded.ready_since = self.engine.now
         self.policy.enqueue(yielded, "yield")
-        self.trace.emit(self.now, "kernel.yield", pid=yielded.pid, cpu=cpu)
+        self.trace.emit(self.engine.now, "kernel.yield", pid=yielded.pid, cpu=cpu)
         self._request_dispatch()
         return False
 

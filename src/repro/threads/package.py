@@ -177,14 +177,21 @@ class ThreadsPackage:
                 )
             yield from self._enqueue_tasks(initial)
         backoff = config.spin_poll_gap
+        # With control off, _control_point would yield nothing forever;
+        # skip even constructing the generator in the per-task loop.
+        controlled = config.control is not None
+        # The peek below models a raw shared-memory read, so reading the
+        # deque directly (not via len(queue)) is both faithful and free.
+        queue_items = self.queue._items
         while True:
-            yield from self._control_point(index)
+            if controlled:
+                yield from self._control_point(index)
             if config.idle_spin:
                 # Busy-wait package: peek (free shared-memory read), take
                 # the lock only when there might be work, back off while
                 # the queue stays empty.
                 item = None
-                if len(self.queue):
+                if queue_items:
                     item = yield from self._locked_try_pop()
                 if item is None:
                     self.idle_poll_time += backoff

@@ -8,8 +8,9 @@ numbers the paper's figures report.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.server import ProcessControlServer
 from repro.kernel import Kernel, syscalls as sc
@@ -70,6 +71,9 @@ class ScenarioResult:
     total_cs_preemptions: int
     total_spin_time: int
     total_context_switches: int
+    #: Simulator events executed for this run (throughput denominator for
+    #: the perf benchmarks: events/sec = events_fired / harness wall time).
+    events_fired: int
     trace: TraceLog = field(repr=False)
 
     def wall_time(self, app_id: str) -> int:
@@ -80,6 +84,37 @@ class ScenarioResult:
     def makespan(self) -> int:
         """Completion time of the last application."""
         return max(result.finished_at for result in self.apps.values())
+
+
+class EventMeter:
+    """Accumulates event counts across the ``run_scenario`` calls it spans.
+
+    Used by the perf harness (``benchmarks/perf.py``) to report events/sec
+    for a whole experiment without re-deriving its scenario list.
+    """
+
+    __slots__ = ("events", "runs")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.runs = 0
+
+
+#: The currently active meter, if any (set via :func:`metered`).
+active_meter: Optional[EventMeter] = None
+
+
+@contextmanager
+def metered() -> Iterator[EventMeter]:
+    """Meter every ``run_scenario`` in the ``with`` body (same process only,
+    so harnesses measuring throughput should force serial sweeps)."""
+    global active_meter
+    meter = EventMeter()
+    previous, active_meter = active_meter, meter
+    try:
+        yield meter
+    finally:
+        active_meter = previous
 
 
 def _standalone_program(duration: int, quantum_hint: int):
@@ -165,11 +200,17 @@ def run_scenario(
             f"arrive-{spec.name}",
         )
 
+    # Checked once per event: gate the per-package scan behind the O(1)
+    # live-process counter, which stays nonzero for most of the run (the
+    # method is pre-bound so each check costs one call, not two).
+    alive = kernel.alive_nondaemon_count
     kernel.run_until_quiescent(
-        done=lambda: all(p.finished for p in packages)
-        and kernel.alive_nondaemon_count() == 0,
+        done=lambda: alive() == 0 and all(p.finished for p in packages),
         max_events=max_events,
         max_time=scenario.max_time,
+        # The predicate cannot be true while any worker is alive, so let
+        # the event loop skip it until the kernel's exit path says so.
+        done_exit_gated=True,
     )
     kernel.finalize_accounting()
 
@@ -196,6 +237,10 @@ def run_scenario(
             queue_lock_spin_time=lock.total_spin_time,
         )
 
+    if active_meter is not None:
+        active_meter.events += engine.events_fired
+        active_meter.runs += 1
+
     runnable_total, runnable_per_app = runnable_series_from_trace(trace)
     total_preemptions = 0
     total_cs_preemptions = 0
@@ -219,5 +264,6 @@ def run_scenario(
         total_cs_preemptions=total_cs_preemptions,
         total_spin_time=total_spin,
         total_context_switches=total_switches,
+        events_fired=engine.events_fired,
         trace=trace,
     )

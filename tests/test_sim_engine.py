@@ -131,3 +131,87 @@ def test_pending_count_ignores_cancelled():
     drop.cancel()
     assert engine.pending_count == 1
     assert keep.pending
+
+
+def test_max_events_bound_is_exact_in_run():
+    """The guard fires after exactly max_events events, not max_events+1."""
+    engine = Engine()
+    fired = []
+
+    def forever():
+        fired.append(engine.now)
+        engine.schedule(1, forever)
+
+    engine.schedule(1, forever)
+    with pytest.raises(SimulationError, match="max_events=100"):
+        engine.run(max_events=100)
+    assert len(fired) == 100
+
+
+def test_max_events_equal_to_workload_does_not_trip():
+    """A run that needs exactly max_events events completes cleanly."""
+    engine = Engine()
+    for i in range(100):
+        engine.schedule(i, lambda: None)
+    assert engine.run(max_events=100) == 100
+    # And the same holds for run_until.
+    engine2 = Engine()
+    for i in range(100):
+        engine2.schedule(i, lambda: None)
+    assert engine2.run_until(200, max_events=100) == 100
+
+
+def test_max_events_bound_is_exact_in_run_until():
+    engine = Engine()
+    fired = []
+
+    def forever():
+        fired.append(engine.now)
+        engine.schedule(1, forever)
+
+    engine.schedule(1, forever)
+    with pytest.raises(SimulationError, match="max_events=50"):
+        engine.run_until(10_000, max_events=50)
+    assert len(fired) == 50
+
+
+def test_max_events_bound_is_exact_in_run_until_done():
+    engine = Engine()
+    fired = []
+
+    def forever():
+        fired.append(engine.now)
+        engine.schedule(1, forever)
+
+    engine.schedule(1, forever)
+    with pytest.raises(SimulationError, match="max_events=75"):
+        engine.run_until_done(lambda: False, max_events=75)
+    assert len(fired) == 75
+
+
+def test_max_events_ignores_cancelled_entries():
+    """Cancelled calendar entries do not count against the bound."""
+    engine = Engine()
+    for i in range(50):
+        engine.schedule(i, lambda: None).cancel()
+    for i in range(10):
+        engine.schedule(100 + i, lambda: None)
+    assert engine.run(max_events=10) == 10
+
+
+def test_compaction_during_run_keeps_future_events():
+    """A mid-run compaction (triggered inside a callback) must not strand
+    the run loop on a stale heap binding: events scheduled after the
+    compaction still fire."""
+    engine = Engine()
+    fired = []
+    handles = [engine.schedule(10, lambda: None) for _ in range(300)]
+
+    def cancel_all():
+        for handle in handles:
+            handle.cancel()  # crosses the compaction threshold mid-run
+        engine.schedule(5, lambda: fired.append(engine.now))
+
+    engine.schedule(1, cancel_all)
+    engine.run_until_done(lambda: bool(fired), max_events=1000)
+    assert fired == [6]
