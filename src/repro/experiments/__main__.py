@@ -12,6 +12,7 @@ import argparse
 import os
 
 from repro.experiments.parallel import JOBS_ENV_VAR
+from repro.sanitize.invariants import SANITIZE_ENV_VAR
 from repro.experiments import (
     ablations,
     claims,
@@ -61,12 +62,27 @@ def main() -> None:
         help="worker processes for sweep fan-out (default: $REPRO_JOBS, "
         "then the CPU count); 1 forces serial execution",
     )
+    parser.add_argument(
+        "--sanitize",
+        nargs="?",
+        const="strict",
+        default=None,
+        choices=["strict", "record"],
+        metavar="MODE",
+        help="run every scenario under the SchedSanitizer invariant "
+        "checker (default mode: strict, which aborts on the first "
+        "violation; 'record' keeps running and tallies them)",
+    )
     args = parser.parse_args()
     if args.jobs is not None:
         # The sweep runners consult REPRO_JOBS; routing the flag through
         # the environment reaches every experiment without threading a
         # jobs parameter into each main().
         os.environ[JOBS_ENV_VAR] = str(args.jobs)
+    if args.sanitize is not None:
+        # Same routing trick as --jobs: run_scenario consults the env var,
+        # and the sweep runners re-export it to their worker processes.
+        os.environ[SANITIZE_ENV_VAR] = args.sanitize
     if args.experiment == "all":
         for name in sorted(_EXPERIMENTS):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

@@ -209,6 +209,7 @@ class Kernel:
         max_events: int = 50_000_000,
         max_time: Optional[int] = None,
         done_exit_gated: bool = False,
+        loop: str = "fused",
     ) -> None:
         """Step the engine until *done* returns True (default: all non-daemon
         processes have terminated), the calendar empties, or a guard trips.
@@ -219,18 +220,59 @@ class Kernel:
         call while the kernel's live-process counter is nonzero, which is
         observably identical but markedly cheaper on long runs.
 
+        *loop* selects the driver: ``"fused"`` (the default) uses the
+        engine's inlined :meth:`~repro.sim.engine.Engine.run_until_done`;
+        ``"plain"`` drives :meth:`~repro.sim.engine.Engine.step` from an
+        ordinary Python loop with identical semantics.  The plain loop
+        exists as the reference side of the sanitizer's differential
+        oracle (:mod:`repro.sanitize.oracle`) -- both must fire exactly
+        the same events.
+
         Raises :class:`SimulationError` on the event guard; raises on time
         guard as well, since hitting either means a hang in an experiment.
         """
         if done is None:
             done = lambda: self.alive_nondaemon_count() == 0  # noqa: E731
             done_exit_gated = True
-        self.engine.run_until_done(
-            done,
-            max_events=max_events,
-            max_time=max_time,
-            exit_gated=done_exit_gated,
-        )
+        if loop == "fused":
+            self.engine.run_until_done(
+                done,
+                max_events=max_events,
+                max_time=max_time,
+                exit_gated=done_exit_gated,
+            )
+        elif loop == "plain":
+            self._run_plain(done, max_events, max_time, done_exit_gated)
+        else:
+            raise ValueError(f"unknown loop {loop!r}; use 'fused' or 'plain'")
+
+    def _run_plain(
+        self,
+        done: Callable[[], bool],
+        max_events: Optional[int],
+        max_time: Optional[int],
+        exit_gated: bool,
+    ) -> None:
+        """The un-fused event loop: one :meth:`Engine.step` per iteration,
+        mirroring ``run_until_done``'s guards and exit-gating exactly."""
+        engine = self.engine
+        ungated = not exit_gated
+        fired = 0
+        while not ((ungated or engine.done_hint) and done()):
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            if not engine.step():
+                if done():  # defensive re-check, mirroring run_until_done
+                    break
+                raise SimulationError(
+                    "event calendar empty but the completion predicate "
+                    "is still false: the workload is deadlocked"
+                )
+            fired += 1
+            if max_time is not None and engine.now > max_time:
+                raise SimulationError(
+                    f"simulated time exceeded max_time={max_time}us"
+                )
 
     # ------------------------------------------------------------------
     # Accounting helpers

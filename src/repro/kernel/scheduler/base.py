@@ -21,7 +21,7 @@ scheduler uses this for its epoch ticks).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.kernel.kernel import Kernel
@@ -68,3 +68,13 @@ class SchedulerPolicy(ABC):
 
     def on_process_exit(self, process: "Process") -> None:
         """Notification: a process terminated."""
+
+    def queued_census(self) -> Optional[Dict[int, int]]:
+        """Live run-queue entries per pid, for the sanitizer's cross-checks.
+
+        Returns a mapping ``pid -> number of live queue entries`` (stale
+        lazily-dropped entries excluded), or ``None`` if the policy does
+        not support introspection.  Only consulted by
+        :mod:`repro.sanitize`; never on the dispatch hot path.
+        """
+        return None

@@ -115,6 +115,13 @@ class CoschedulingScheduler(SchedulerPolicy):
             except ValueError:
                 pass
 
+    def queued_census(self):
+        census = {}
+        for gang in self._gangs.values():
+            for process in gang:
+                census[process.pid] = census.get(process.pid, 0) + 1
+        return census
+
     def quantum_for(self, process: Process, cpu: int) -> int:
         return self.epoch
 

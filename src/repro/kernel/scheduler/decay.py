@@ -141,6 +141,11 @@ class PriorityDecayScheduler(SchedulerPolicy):
     def has_waiting(self, cpu: int) -> bool:
         return bool(self._queued)
 
+    def queued_census(self):
+        # ``_queued`` holds exactly the live entries; stale heap entries
+        # (superseded seqs) are not part of the logical queue.
+        return {pid: 1 for pid in self._queued}
+
     def on_process_exit(self, process: Process) -> None:
         self._usage.pop(process.pid, None)
         self._queued.pop(process.pid, None)

@@ -1,0 +1,87 @@
+"""Reference O(n) rescan implementation of priority-decay scheduling.
+
+:class:`~repro.kernel.scheduler.decay.PriorityDecayScheduler` earns its
+O(log n) dequeue through two tricks that are easy to get subtly wrong:
+epoch-normalized heap keys (so entries minted at different times stay
+comparable without re-keying) and lazy invalidation of stale entries via
+per-pid sequence numbers.  This module provides the differential oracle's
+ground truth: the same usage-decay arithmetic, but the run queue is a plain
+list and ``dequeue`` is a linear scan for the minimum key.  No heap, no
+lazy skipping on pop -- stale entries are pruned eagerly during the scan.
+
+Both schedulers must produce **bit-identical** dispatch traces on any
+workload; :mod:`repro.sanitize.oracle` asserts exactly that.  To make a
+divergence meaningful the key arithmetic is shared (``_decayed_usage`` and
+``_normalized_key`` are inherited, so usage estimates evolve through the
+identical sequence of float operations) while the queue mechanics are
+reimplemented from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.scheduler.decay import PriorityDecayScheduler
+
+
+class ReferenceDecayScheduler(PriorityDecayScheduler):
+    """Priority-decay scheduling by O(n) rescan over a plain list."""
+
+    def __init__(self, half_life: Optional[int] = None) -> None:
+        if half_life is None:
+            super().__init__()
+        else:
+            super().__init__(half_life=half_life)
+        # Shadow the heap with a plain insertion-ordered list of
+        # (key, seq, process).  ``_queued`` keeps its base-class meaning:
+        # pid -> seq of the live entry.
+        self._entries: List[Tuple[float, int, Process]] = []
+
+    def enqueue(self, process: Process, reason: str) -> None:
+        if process.state is not ProcessState.READY:
+            raise ValueError(
+                f"enqueue of process {process.pid} in state {process.state.name}"
+            )
+        usage = self._decayed_usage(process)
+        key = self._normalized_key(usage, self.kernel.engine.now)
+        seq = self._next_seq
+        self._next_seq += 1
+        self._queued[process.pid] = seq
+        self._entries.append((key, seq, process))
+
+    def dequeue(self, cpu: int) -> Optional[Process]:
+        queued = self._queued
+        while True:
+            # Prune stale entries (superseded or exited) eagerly, then scan
+            # the survivors for the minimum (key, seq) -- the same total
+            # order the heap pops in, since seqs are unique.
+            live = [
+                entry
+                for entry in self._entries
+                if queued.get(entry[2].pid) == entry[1]
+            ]
+            self._entries = live
+            if not live:
+                return None
+            best = min(live, key=lambda entry: (entry[0], entry[1]))
+            self._entries.remove(best)
+            process = best[2]
+            del queued[process.pid]
+            if process.state is not ProcessState.READY:
+                continue  # defensive: never hand out a non-READY process
+            self._decayed_usage(process)
+            return process
+
+    def _rebase(self, now: int) -> None:
+        self._epoch = now
+        rebuilt: List[Tuple[float, int, Process]] = []
+        for _key, seq, process in self._entries:
+            if self._queued.get(process.pid) != seq:
+                continue
+            usage = self._decayed_usage(process)  # exponent is now zero
+            rebuilt.append((usage, seq, process))
+        self._entries = rebuilt
+
+    def queued_census(self):
+        return {pid: 1 for pid in self._queued}

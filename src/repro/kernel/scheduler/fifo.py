@@ -48,6 +48,12 @@ class FifoScheduler(SchedulerPolicy):
         """Current run-queue length (diagnostics and tests)."""
         return len(self._queue)
 
+    def queued_census(self):
+        census = {}
+        for process in self._queue:
+            census[process.pid] = census.get(process.pid, 0) + 1
+        return census
+
     def on_process_exit(self, process: Process) -> None:
         # Cheap removal attempt keeps the queue tidy if a queued process is
         # ever terminated externally.

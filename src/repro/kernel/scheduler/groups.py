@@ -115,6 +115,12 @@ class ProcessGroupScheduler(SchedulerPolicy):
                 return False
         return any(p.state is ProcessState.READY for p in self._queue)
 
+    def queued_census(self):
+        census = {}
+        for process in self._queue:
+            census[process.pid] = census.get(process.pid, 0) + 1
+        return census
+
     def on_process_exit(self, process: Process) -> None:
         try:
             self._queue.remove(process)

@@ -225,3 +225,10 @@ class SpacePartitionScheduler(SchedulerPolicy):
         if not queue:
             return False
         return any(p.state is ProcessState.READY for p in queue)
+
+    def queued_census(self):
+        census = {}
+        for queue in self._queues.values():
+            for process in queue:
+                census[process.pid] = census.get(process.pid, 0) + 1
+        return census

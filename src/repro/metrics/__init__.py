@@ -2,7 +2,11 @@
 
 from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
 from repro.metrics.speedup import speedup, efficiency
-from repro.metrics.report import format_table, format_run_header
+from repro.metrics.report import (
+    format_run_header,
+    format_sanitizer_summary,
+    format_table,
+)
 
 __all__ = [
     "StepSeries",
@@ -11,4 +15,5 @@ __all__ = [
     "efficiency",
     "format_table",
     "format_run_header",
+    "format_sanitizer_summary",
 ]

@@ -39,6 +39,37 @@ def format_run_header(title: str, **params: object) -> str:
     return f"== {title} =="
 
 
+def format_sanitizer_summary(result: object) -> str:
+    """One line summarizing a run's sanitizer outcome.
+
+    Accepts any object with ``sanitizer_violations`` and
+    ``sanitizer_counters`` attributes (a
+    :class:`~repro.workloads.runner.ScenarioResult`).  Returns
+    ``"sanitizer: off"`` when the run was unsanitized, otherwise the
+    violation total plus the most useful counters.
+    """
+    counters = getattr(result, "sanitizer_counters", None)
+    if counters is None:
+        return "sanitizer: off"
+    violations = getattr(result, "sanitizer_violations", 0)
+    state = "clean" if violations == 0 else f"{violations} violation(s)"
+    detail = (
+        f"{counters.get('checks', 0)} checks, "
+        f"{counters.get('deep_checks', 0)} deep, "
+        f"{counters.get('lock_holder_preemptions_witnessed', 0)} "
+        f"lock-holder preemptions witnessed"
+    )
+    per_check = sorted(
+        (key.split(".", 1)[1], count)
+        for key, count in counters.items()
+        if key.startswith("violations.") and count
+    )
+    if per_check:
+        breakdown = ", ".join(f"{name}={count}" for name, count in per_check)
+        return f"sanitizer: {state} ({detail}; {breakdown})"
+    return f"sanitizer: {state} ({detail})"
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"

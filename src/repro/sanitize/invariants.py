@@ -1,0 +1,650 @@
+"""Online scheduling-invariant checker.
+
+:class:`SchedSanitizer` wraps a live :class:`~repro.kernel.kernel.Kernel`
+(and its policy) with checking shims installed as *instance* attributes, so
+an unattached kernel pays nothing.  The shims maintain shadow state -- a
+census of queued pids and a pid->cpu map of running processes -- and verify
+at every transition that the simulation still satisfies the structural
+invariants the experiments silently rely on:
+
+* every process is in exactly one state, on at most one run queue, and on
+  at most one processor;
+* run-queue handoffs are sane: no double enqueue, no dequeue of a process
+  that was never enqueued, no dispatch onto a busy processor;
+* suspension (the process-control ``WaitSignal`` protocol) only happens at
+  task-queue safe points -- never while holding a spinlock or spinning;
+* lock-holder preemption is accounted as a *witnessed* event (the shim saw
+  ``locks_held > 0`` at the preemption itself) and cross-checked at
+  :meth:`~SchedSanitizer.finish` against the kernel's inferred statistics;
+* the event calendar stays consistent: ``pending_count`` matches the live
+  heap entries and no live event is scheduled in the past;
+* once a control server is watched, no application sustains more runnable
+  workers than its granted share beyond a compliance window (workers only
+  obey at safe points, so momentary overruns are legal).
+
+Cheap checks (monotonic time, shadow-state bookkeeping) run at every shim;
+expensive ones (census cross-check via
+:meth:`~repro.kernel.scheduler.base.SchedulerPolicy.queued_census`, full
+state-machine and calendar scans) run every ``deep_period`` transitions and
+only at *safe points* -- transition boundaries where no process is legally
+in flight between a queue and a processor.
+
+Modes: ``"strict"`` raises :class:`SanitizerError` at the first violation;
+``"record"`` accumulates :class:`Violation` entries (and emits
+``sanitize.violation`` trace records) while the run continues, which is
+what the lint pass consumes post-hoc.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.kernel.process import ProcessState
+from repro.sim.engine import SimulationError
+
+#: Environment knob consulted by ``run_scenario`` (and the experiments CLI,
+#: which sets it from ``--sanitize``).
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+_OFF_VALUES = {"", "0", "off", "false", "no", "none"}
+_STRICT_VALUES = {"1", "on", "true", "yes", "strict"}
+_RECORD_VALUES = {"record", "warn"}
+
+
+def sanitize_mode_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Resolve :data:`SANITIZE_ENV_VAR` to ``None``/``"strict"``/``"record"``."""
+    source = os.environ if environ is None else environ
+    raw = source.get(SANITIZE_ENV_VAR, "").strip().lower()
+    if raw in _OFF_VALUES:
+        return None
+    if raw in _STRICT_VALUES:
+        return "strict"
+    if raw in _RECORD_VALUES:
+        return "record"
+    raise ValueError(
+        f"unrecognized {SANITIZE_ENV_VAR}={raw!r}; use 1/strict, record, or 0"
+    )
+
+
+class SanitizerError(SimulationError):
+    """A scheduling invariant was violated (strict mode)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation.
+
+    Attributes:
+        time: simulation time in microseconds.
+        check: kebab-case name of the failed check, e.g. ``"double-enqueue"``.
+        message: human-readable description.
+        pid: the process involved, when one is identifiable.
+    """
+
+    time: int
+    check: str
+    message: str
+    pid: Optional[int] = None
+
+
+class SchedSanitizer:
+    """Attachable invariant checker for one kernel instance.
+
+    Usage::
+
+        sanitizer = SchedSanitizer(kernel, mode="strict")
+        sanitizer.attach()
+        ... run the simulation ...
+        sanitizer.finish()    # end-of-run cross-checks
+        sanitizer.detach()    # optional: restore the unwrapped kernel
+    """
+
+    def __init__(
+        self,
+        kernel,
+        mode: str = "strict",
+        deep_period: int = 64,
+    ) -> None:
+        if mode not in ("strict", "record"):
+            raise ValueError(f"mode must be 'strict' or 'record', got {mode!r}")
+        if deep_period < 1:
+            raise ValueError("deep_period must be >= 1")
+        self.kernel = kernel
+        self.mode = mode
+        self.deep_period = deep_period
+        self.violations: list = []
+        self.counters: Dict[str, int] = {
+            "checks": 0,
+            "deep_checks": 0,
+            "violations": 0,
+            "lock_holder_preemptions_witnessed": 0,
+        }
+        self._attached = False
+        # Shadow state, rebuilt from the sanitizer's own observations.
+        self._queued: Dict[int, bool] = {}  # pid -> has a live queue entry
+        self._running: Dict[int, int] = {}  # pid -> cpu
+        self._last_time = 0
+        self._ops = 0
+        self._next_deep = deep_period
+        self._baseline_cs_preemptions = 0
+        self._saved: Dict[Tuple[int, str], object] = {}
+        # Server-share watching (armed via watch_server).
+        self._server = None
+        self._compliance_window: Optional[int] = None
+        self._overrun_since: Dict[str, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True while no violation has been observed."""
+        return not self.violations
+
+    def attach(self) -> "SchedSanitizer":
+        """Install the checking shims.  Idempotence is an error (attach
+        twice and the second set of shims would wrap the first)."""
+        if self._attached:
+            raise RuntimeError("sanitizer is already attached")
+        kernel = self.kernel
+        policy = kernel.policy
+        self._last_time = kernel.engine.now
+        self._baseline_cs_preemptions = sum(
+            p.stats.preemptions_in_critical_section
+            for p in kernel.processes.values()
+        )
+        # Seed shadow state from whatever already exists (attaching before
+        # the first spawn leaves both empty).
+        census = policy.queued_census()
+        if census:
+            for pid in census:
+                self._queued[pid] = True
+        for process in kernel.processes.values():
+            if process.state is ProcessState.RUNNING and process.cpu is not None:
+                self._running[process.pid] = process.cpu
+
+        self._wrap_policy_enqueue()
+        self._wrap_policy_dequeue()
+        self._wrap_kernel("_dispatch", self._make_dispatch)
+        self._wrap_kernel("_undispatch", self._make_undispatch)
+        self._wrap_kernel("_preempt", self._make_preempt)
+        self._wrap_kernel("_block_current", self._make_block)
+        self._wrap_kernel("_wake", self._make_wake)
+        self._wrap_kernel("_exit_current", self._make_exit)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Remove every shim, restoring the kernel's original fast paths."""
+        if not self._attached:
+            return
+        kernel = self.kernel
+        policy = kernel.policy
+        for (target, name), original in self._saved.items():
+            obj = kernel if target == "kernel" else policy
+            if original is _MISSING:
+                obj.__dict__.pop(name, None)
+            else:
+                setattr(obj, name, original)
+        self._saved.clear()
+        self._attached = False
+
+    def watch_server(self, server, poll_interval: int, compliance_factor: int = 4) -> None:
+        """Arm the runnable-share check against *server*'s control board.
+
+        Workers only obey targets at task-queue safe points, and resumes
+        briefly overshoot, so an overrun only counts as a violation when it
+        persists longer than ``compliance_factor * poll_interval``.
+        """
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self._server = server
+        self._compliance_window = compliance_factor * poll_interval
+
+    def finish(self) -> "SchedSanitizer":
+        """End-of-run checks: a final deep pass plus the witnessed
+        lock-holder-preemption count against the kernel's statistics."""
+        self.deep_check()
+        inferred = (
+            sum(
+                p.stats.preemptions_in_critical_section
+                for p in self.kernel.processes.values()
+            )
+            - self._baseline_cs_preemptions
+        )
+        witnessed = self.counters["lock_holder_preemptions_witnessed"]
+        if witnessed != inferred:
+            self._report(
+                "witness-mismatch",
+                f"witnessed {witnessed} lock-holder preemptions but the "
+                f"kernel accounted {inferred}: a preemption bypassed the "
+                f"sanitizer",
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Violation plumbing
+    # ------------------------------------------------------------------
+
+    def _report(self, check: str, message: str, pid: Optional[int] = None) -> None:
+        now = self.kernel.engine.now
+        self.violations.append(Violation(now, check, message, pid))
+        self.counters["violations"] += 1
+        key = f"violations.{check}"
+        self.counters[key] = self.counters.get(key, 0) + 1
+        self.kernel.trace.emit(
+            now, "sanitize.violation", check=check, message=message, pid=pid
+        )
+        if self.mode == "strict":
+            raise SanitizerError(f"[sanitize:{check}] t={now}us: {message}")
+
+    def _pre(self) -> None:
+        """Per-shim cheap checks: monotonic time, operation counting."""
+        now = self.kernel.engine.now
+        if now < self._last_time:
+            self._report(
+                "monotonic-time",
+                f"clock moved backwards: {self._last_time}us -> {now}us",
+            )
+        self._last_time = now
+        self.counters["checks"] += 1
+        self._ops += 1
+
+    def _maybe_deep(self) -> None:
+        if self._ops >= self._next_deep:
+            self._next_deep = self._ops + self.deep_period
+            self.deep_check()
+
+    # ------------------------------------------------------------------
+    # Shims
+    # ------------------------------------------------------------------
+
+    def _wrap_kernel(self, name: str, factory) -> None:
+        kernel = self.kernel
+        original = getattr(kernel, name)
+        self._saved[("kernel", name)] = kernel.__dict__.get(name, _MISSING)
+        setattr(kernel, name, factory(original))
+
+    def _wrap_policy_enqueue(self) -> None:
+        kernel = self.kernel
+        policy = kernel.policy
+        original = policy.enqueue
+        shim = self._make_enqueue(original)
+        self._saved[("policy", "enqueue")] = policy.__dict__.get("enqueue", _MISSING)
+        policy.enqueue = shim
+        # The kernel caches the bound method at construction; repoint the
+        # cache so the preempt/wake paths go through the shim too.
+        self._saved[("kernel", "_policy_enqueue")] = kernel.__dict__.get(
+            "_policy_enqueue", _MISSING
+        )
+        kernel._policy_enqueue = shim
+
+    def _wrap_policy_dequeue(self) -> None:
+        kernel = self.kernel
+        policy = kernel.policy
+        original = policy.dequeue
+        shim = self._make_dequeue(original)
+        self._saved[("policy", "dequeue")] = policy.__dict__.get("dequeue", _MISSING)
+        policy.dequeue = shim
+        self._saved[("kernel", "_policy_dequeue")] = kernel.__dict__.get(
+            "_policy_dequeue", _MISSING
+        )
+        kernel._policy_dequeue = shim
+
+    def _make_enqueue(self, original):
+        def enqueue(process, reason):
+            self._pre()
+            pid = process.pid
+            if pid in self._queued:
+                self._report(
+                    "double-enqueue",
+                    f"process {pid} enqueued ({reason!r}) while it already "
+                    f"has a live queue entry",
+                    pid,
+                )
+            if process.state is not ProcessState.READY:
+                self._report(
+                    "enqueue-non-ready",
+                    f"process {pid} enqueued in state {process.state.name}",
+                    pid,
+                )
+            original(process, reason)
+            self._queued[pid] = True
+            self._maybe_deep()
+
+        return enqueue
+
+    def _make_dequeue(self, original):
+        def dequeue(cpu):
+            self._pre()
+            process = original(cpu)
+            if process is not None:
+                pid = process.pid
+                if self._queued.pop(pid, None) is None:
+                    self._report(
+                        "phantom-dequeue",
+                        f"dequeue on cpu {cpu} returned process {pid}, which "
+                        f"has no live queue entry",
+                        pid,
+                    )
+                if process.state is not ProcessState.READY:
+                    self._report(
+                        "dequeue-non-ready",
+                        f"dequeue returned process {pid} in state "
+                        f"{process.state.name}",
+                        pid,
+                    )
+            # No deep check here: the caller is about to dispatch, so the
+            # returned process is legally READY-but-unqueued right now.
+            return process
+
+        return dequeue
+
+    def _make_dispatch(self, original):
+        def _dispatch(cpu, process):
+            self._pre()
+            pid = process.pid
+            if self.kernel.machine.processors[cpu].current is not None:
+                self._report(
+                    "dispatch-busy-cpu", f"dispatch of {pid} onto busy cpu {cpu}", pid
+                )
+            elsewhere = self._running.get(pid)
+            if elsewhere is not None:
+                self._report(
+                    "dispatch-while-running",
+                    f"process {pid} dispatched on cpu {cpu} while already "
+                    f"running on cpu {elsewhere}",
+                    pid,
+                )
+            if process.state is not ProcessState.READY:
+                self._report(
+                    "dispatch-non-ready",
+                    f"dispatch of process {pid} in state {process.state.name}",
+                    pid,
+                )
+            if pid in self._queued:
+                self._report(
+                    "dispatch-queued",
+                    f"process {pid} dispatched while still holding a live "
+                    f"queue entry",
+                    pid,
+                )
+            original(cpu, process)
+            self._running[pid] = cpu
+            self._maybe_deep()
+
+        return _dispatch
+
+    def _make_undispatch(self, original):
+        def _undispatch(cpu):
+            self._pre()
+            current = self.kernel.machine.processors[cpu].current
+            if current is None:
+                self._report("undispatch-idle-cpu", f"undispatch of idle cpu {cpu}")
+            process = original(cpu)
+            tracked = self._running.pop(process.pid, None)
+            if tracked != cpu:
+                self._report(
+                    "state-machine",
+                    f"process {process.pid} undispatched from cpu {cpu} but "
+                    f"the sanitizer tracked it on {tracked}",
+                    process.pid,
+                )
+            # No deep check: the caller now owns a RUNNING-detached process
+            # and will re-queue, block, or terminate it.
+            return process
+
+        return _undispatch
+
+    def _make_preempt(self, original):
+        def _preempt(cpu, reason):
+            self._pre()
+            process = self.kernel.machine.processors[cpu].current
+            locks_held = process.locks_held if process is not None else 0
+            original(cpu, reason=reason)
+            if process is not None and locks_held > 0:
+                # Witnessed, not inferred: the shim saw the lock count at
+                # the moment of preemption itself.
+                self.counters["lock_holder_preemptions_witnessed"] += 1
+                self.kernel.trace.emit(
+                    self.kernel.engine.now,
+                    "sanitize.lock_holder_preempted",
+                    pid=process.pid,
+                    cpu=cpu,
+                    locks_held=locks_held,
+                    reason=reason,
+                )
+            self._maybe_deep()
+
+        return _preempt
+
+    def _make_block(self, original):
+        def _block_current(cpu, reason):
+            self._pre()
+            process = self.kernel.machine.processors[cpu].current
+            if process is not None and reason == "signal":
+                # WaitSignal is the process-control suspension mechanism;
+                # per Section 5 it may only happen at task-queue safe
+                # points, where no spinlock is held and nothing spins.
+                if process.locks_held > 0:
+                    self._report(
+                        "unsafe-suspension",
+                        f"process {process.pid} suspended while holding "
+                        f"{process.locks_held} spinlock(s)",
+                        process.pid,
+                    )
+                if process.spinning_on is not None:
+                    self._report(
+                        "unsafe-suspension",
+                        f"process {process.pid} suspended while spinning on "
+                        f"{process.spinning_on.name!r}",
+                        process.pid,
+                    )
+            result = original(cpu, reason)
+            self._maybe_deep()
+            return result
+
+        return _block_current
+
+    def _make_wake(self, original):
+        def _wake(process):
+            self._pre()
+            pid = process.pid
+            if process.state is not ProcessState.BLOCKED:
+                self._report(
+                    "wake-non-blocked",
+                    f"wake of process {pid} in state {process.state.name}",
+                    pid,
+                )
+            if pid in self._running:
+                self._report(
+                    "state-machine",
+                    f"wake of process {pid} while tracked as running on "
+                    f"cpu {self._running[pid]}",
+                    pid,
+                )
+            original(process)
+            self._maybe_deep()
+
+        return _wake
+
+    def _make_exit(self, original):
+        def _exit_current(cpu):
+            self._pre()
+            process = self.kernel.machine.processors[cpu].current
+            original(cpu)
+            if process is not None:
+                # The policy dropped its entries in on_process_exit; a
+                # terminated process must not linger in the shadow census.
+                self._queued.pop(process.pid, None)
+            self._maybe_deep()
+
+        return _exit_current
+
+    # ------------------------------------------------------------------
+    # Deep (safe-point) checks
+    # ------------------------------------------------------------------
+
+    def deep_check(self) -> None:
+        """Full-state invariants, run only at transition boundaries."""
+        self.counters["deep_checks"] += 1
+        self._check_census()
+        self._check_state_machine()
+        self._check_calendar()
+        if self._server is not None:
+            self._check_server_share()
+
+    def _check_census(self) -> None:
+        census = self.kernel.policy.queued_census()
+        if census is None:
+            return
+        for pid, entries in census.items():
+            if entries != 1:
+                self._report(
+                    "census-mismatch",
+                    f"process {pid} has {entries} live run-queue entries",
+                    pid,
+                )
+            elif pid not in self._queued:
+                self._report(
+                    "census-mismatch",
+                    f"process {pid} is on the run queue but was never "
+                    f"enqueued (phantom entry)",
+                    pid,
+                )
+        for pid in self._queued:
+            if pid not in census:
+                self._report(
+                    "census-mismatch",
+                    f"process {pid} was enqueued but has no live run-queue "
+                    f"entry (lost entry)",
+                    pid,
+                )
+
+    def _check_state_machine(self) -> None:
+        kernel = self.kernel
+        on_cpu: Dict[int, int] = {}
+        for processor in kernel.machine.processors:
+            current = processor.current
+            if current is None:
+                continue
+            pid = current.pid
+            if pid in on_cpu:
+                self._report(
+                    "state-machine",
+                    f"process {pid} is current on cpus {on_cpu[pid]} and "
+                    f"{processor.cpu_id}",
+                    pid,
+                )
+            on_cpu[pid] = processor.cpu_id
+            if current.state is not ProcessState.RUNNING:
+                self._report(
+                    "state-machine",
+                    f"process {pid} is current on cpu {processor.cpu_id} in "
+                    f"state {current.state.name}",
+                    pid,
+                )
+            if current.cpu != processor.cpu_id:
+                self._report(
+                    "state-machine",
+                    f"process {pid} on cpu {processor.cpu_id} records "
+                    f"cpu={current.cpu}",
+                    pid,
+                )
+        if on_cpu != self._running:
+            self._report(
+                "state-machine",
+                f"sanitizer running-map {self._running} disagrees with the "
+                f"machine {on_cpu}",
+            )
+        for process in kernel.processes.values():
+            pid = process.pid
+            state = process.state
+            if state is ProcessState.RUNNING:
+                if pid not in on_cpu:
+                    self._report(
+                        "state-machine",
+                        f"process {pid} is RUNNING but on no processor",
+                        pid,
+                    )
+            elif state is ProcessState.READY:
+                # Safe-point invariant: a READY process always has exactly
+                # one live queue entry (shims never deep-check mid-handoff).
+                if pid not in self._queued:
+                    self._report(
+                        "state-machine",
+                        f"process {pid} is READY but on no run queue",
+                        pid,
+                    )
+            else:
+                if pid in self._queued:
+                    self._report(
+                        "state-machine",
+                        f"process {pid} is {state.name} but still has a "
+                        f"live queue entry",
+                        pid,
+                    )
+                if pid in on_cpu:
+                    self._report(
+                        "state-machine",
+                        f"process {pid} is {state.name} but current on cpu "
+                        f"{on_cpu[pid]}",
+                        pid,
+                    )
+
+    def _check_calendar(self) -> None:
+        engine = self.kernel.engine
+        now = engine.now
+        live = 0
+        for time, _seq, handle in engine._heap:
+            if handle.callback is None:
+                continue
+            live += 1
+            if time < now:
+                self._report(
+                    "calendar-past-event",
+                    f"live event {handle.label!r} scheduled at {time}us but "
+                    f"the clock is at {now}us",
+                )
+        if live != engine.pending_count:
+            self._report(
+                "calendar-count",
+                f"pending_count says {engine.pending_count} live events but "
+                f"the calendar holds {live}",
+            )
+
+    def _check_server_share(self) -> None:
+        board = self._server.board
+        if not board.targets:
+            return
+        kernel = self.kernel
+        now = kernel.engine.now
+        runnable: Dict[str, int] = {}
+        for process in kernel.processes.values():
+            if process.controllable and process.runnable and process.app_id:
+                runnable[process.app_id] = runnable.get(process.app_id, 0) + 1
+        for app_id, target in board.targets.items():
+            granted = max(target, 1)
+            count = runnable.get(app_id, 0)
+            if count <= granted:
+                self._overrun_since.pop(app_id, None)
+                continue
+            previous = self._overrun_since.get(app_id)
+            if previous is None or previous[0] != target:
+                # New overrun (or the grant changed): start the clock.
+                self._overrun_since[app_id] = (target, now)
+            elif now - previous[1] > self._compliance_window:
+                self._report(
+                    "share-overrun",
+                    f"application {app_id!r} has {count} runnable workers, "
+                    f"above its granted {granted}, sustained for "
+                    f"{now - previous[1]}us",
+                )
+                self._overrun_since[app_id] = (target, now)
+
+
+#: Sentinel distinguishing "no instance attribute existed" in detach().
+_MISSING = object()

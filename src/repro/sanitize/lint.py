@@ -1,0 +1,309 @@
+"""Post-hoc trace linting.
+
+:func:`lint_trace` replays a finished :class:`~repro.sim.trace.TraceLog`
+in record order and cross-checks causality between events:
+
+* time is monotonically non-decreasing;
+* processor occupancy is consistent: every dispatch lands on an idle
+  processor and a not-already-running pid; preempt/yield/block/exit only
+  remove pids that are actually running; a wake never targets a running
+  pid and always follows a block;
+* the process-control suspension protocol pairs up: every ``pc.resume``
+  names a currently parked pid, every ``pc.wake`` consumes either a resume
+  in flight (``pc-resume`` payload) or a parked pid (``pc-finish``
+  payload, the shutdown path that legitimately skips ``pc.resume``);
+* server decisions are sane: every published target is at least 1 and the
+  targets sum to at most ``max(P, number of applications)`` processors
+  (the water-filling policy grants every application at least one
+  processor, so with more applications than processors the sum legally
+  exceeds P);
+* a witnessed ``spin.holder_preempted`` record names a holder that is
+  indeed off-processor at that moment;
+* any ``sanitize.violation`` the online checker recorded (record mode) is
+  surfaced as a lint issue, so bugs that are invisible in a legal-looking
+  event stream -- e.g. a policy duplicating queue entries internally --
+  still fail the lint pass.
+
+Each check group is gated on :meth:`TraceLog.wants` for every category it
+consumes: a log that *filtered out* a category cannot be linted against it
+(missing records are indistinguishable from dropped ones), so the group is
+skipped rather than reporting false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import TraceLog
+from repro.threads.control import FINISH, RESUME
+
+#: Categories the occupancy tracker consumes; all must pass ``wants``.
+_OCCUPANCY_CATEGORIES = (
+    "kernel.dispatch",
+    "kernel.preempt",
+    "kernel.block",
+    "kernel.wake",
+    "kernel.exit",
+    "kernel.yield",
+)
+
+#: Categories the suspension-protocol tracker consumes.
+_SUSPENSION_CATEGORIES = ("pc.suspend", "pc.resume", "pc.wake")
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One causality problem found in a trace."""
+
+    time: int
+    check: str
+    message: str
+
+
+@dataclass
+class LintReport:
+    """Outcome of one :func:`lint_trace` pass."""
+
+    issues: List[LintIssue] = field(default_factory=list)
+    records_checked: int = 0
+    checks_enabled: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        state = "clean" if self.ok else f"{len(self.issues)} issue(s)"
+        return (
+            f"lint: {state} over {self.records_checked} records "
+            f"(groups: {', '.join(self.checks_enabled) or 'none'})"
+        )
+
+
+class _Linter:
+    def __init__(self, trace: TraceLog, n_processors: Optional[int]) -> None:
+        self.trace = trace
+        self.n_processors = n_processors
+        self.issues: List[LintIssue] = []
+        self.check_occupancy = all(trace.wants(c) for c in _OCCUPANCY_CATEGORIES)
+        self.check_suspension = all(trace.wants(c) for c in _SUSPENSION_CATEGORIES)
+        self.check_server = trace.wants("server.update")
+        self.check_spin = self.check_occupancy and trace.wants("spin.holder_preempted")
+        # Occupancy state.
+        self.running: Dict[int, int] = {}  # pid -> cpu
+        self.on_cpu: Dict[int, int] = {}  # cpu -> pid
+        self.blocked: set = set()
+        # Suspension-protocol state.
+        self.parked: set = set()  # pc.suspend seen, no resume/wake yet
+        self.resume_in_flight: set = set()  # pc.resume seen, no pc.wake yet
+
+    def issue(self, time: int, check: str, message: str) -> None:
+        self.issues.append(LintIssue(time, check, message))
+
+    # -- occupancy ---------------------------------------------------------
+
+    def _remove_running(self, time: int, pid: int, check: str, what: str) -> None:
+        cpu = self.running.pop(pid, None)
+        if cpu is None:
+            self.issue(time, check, f"{what} of pid {pid}, which is not running")
+        else:
+            self.on_cpu.pop(cpu, None)
+
+    def dispatch(self, time: int, pid: int, cpu: int) -> None:
+        occupant = self.on_cpu.get(cpu)
+        if occupant is not None:
+            self.issue(
+                time,
+                "dispatch-busy-cpu",
+                f"pid {pid} dispatched onto cpu {cpu} still occupied by "
+                f"pid {occupant}",
+            )
+        if pid in self.running:
+            self.issue(
+                time,
+                "dispatch-while-running",
+                f"pid {pid} dispatched onto cpu {cpu} while running on cpu "
+                f"{self.running[pid]}",
+            )
+        if self.n_processors is not None and not 0 <= cpu < self.n_processors:
+            self.issue(
+                time, "dispatch-bad-cpu", f"pid {pid} dispatched onto cpu {cpu}"
+            )
+        self.blocked.discard(pid)
+        self.running[pid] = cpu
+        self.on_cpu[cpu] = pid
+
+    def preempt(self, time: int, pid: int, cpu: int, kind: str) -> None:
+        tracked = self.running.get(pid)
+        if tracked != cpu:
+            self.issue(
+                time,
+                f"{kind}-not-running",
+                f"{kind} of pid {pid} on cpu {cpu}, but it is "
+                + ("not running" if tracked is None else f"on cpu {tracked}"),
+            )
+        self._remove_running(time, pid, f"{kind}-not-running", kind)
+
+    def block(self, time: int, pid: int) -> None:
+        self._remove_running(time, pid, "block-not-running", "block")
+        self.blocked.add(pid)
+
+    def wake(self, time: int, pid: int) -> None:
+        if pid in self.running:
+            self.issue(
+                time,
+                "wake-running",
+                f"wake of pid {pid} while running on cpu {self.running[pid]}",
+            )
+        elif pid not in self.blocked:
+            self.issue(
+                time, "wake-without-block", f"wake of pid {pid} with no prior block"
+            )
+        self.blocked.discard(pid)
+
+    def exit(self, time: int, pid: int) -> None:
+        self._remove_running(time, pid, "exit-not-running", "exit")
+
+    # -- suspension protocol ----------------------------------------------
+
+    def pc_suspend(self, time: int, pid: int) -> None:
+        if pid in self.parked:
+            self.issue(
+                time, "double-suspend", f"pid {pid} suspended while already parked"
+            )
+        self.parked.add(pid)
+
+    def pc_resume(self, time: int, pid: int) -> None:
+        if pid not in self.parked:
+            self.issue(
+                time,
+                "resume-without-suspend",
+                f"pid {pid} resumed without a matching suspend",
+            )
+        self.parked.discard(pid)
+        self.resume_in_flight.add(pid)
+
+    def pc_wake(self, time: int, pid: int, payload: object) -> None:
+        if payload == RESUME:
+            if pid not in self.resume_in_flight:
+                self.issue(
+                    time,
+                    "wake-without-resume",
+                    f"pid {pid} woke from suspension without a pc.resume",
+                )
+            self.resume_in_flight.discard(pid)
+        elif payload == FINISH:
+            # Shutdown wakes bypass pc.resume by design, but still require
+            # the worker to actually have been parked.
+            if pid not in self.parked and pid not in self.resume_in_flight:
+                self.issue(
+                    time,
+                    "wake-without-suspend",
+                    f"pid {pid} got a finish wake without being parked",
+                )
+            self.parked.discard(pid)
+            self.resume_in_flight.discard(pid)
+        else:
+            self.issue(
+                time,
+                "unknown-wake-payload",
+                f"pid {pid} woke with unrecognized payload {payload!r}",
+            )
+
+    # -- server decisions --------------------------------------------------
+
+    def server_update(self, time: int, targets: Dict[str, int]) -> None:
+        for app_id, target in targets.items():
+            if target < 1:
+                self.issue(
+                    time,
+                    "zero-target",
+                    f"server granted application {app_id!r} {target} processors",
+                )
+        if self.n_processors is not None and targets:
+            total = sum(targets.values())
+            bound = max(self.n_processors, len(targets))
+            if total > bound:
+                self.issue(
+                    time,
+                    "oversubscribed-decision",
+                    f"server granted {total} processors across "
+                    f"{len(targets)} applications on a "
+                    f"{self.n_processors}-processor machine",
+                )
+
+
+def lint_trace(trace: TraceLog, n_processors: Optional[int] = None) -> LintReport:
+    """Replay *trace* and report causality problems.
+
+    *n_processors* enables the bounds checks (cpu ids, server decision
+    sums); omit it and those checks are skipped.
+    """
+    linter = _Linter(trace, n_processors)
+    last_time = None
+    count = 0
+    for record in trace:
+        count += 1
+        time, category, data = record.time, record.category, record.data
+        if last_time is not None and time < last_time:
+            linter.issue(
+                time,
+                "monotonic-time",
+                f"record at {time}us follows one at {last_time}us",
+            )
+        last_time = time
+        if category == "sanitize.violation":
+            linter.issue(
+                time,
+                "online-violation",
+                f"online checker recorded [{data.get('check')}]: "
+                f"{data.get('message')}",
+            )
+        elif linter.check_occupancy:
+            if category == "kernel.dispatch":
+                linter.dispatch(time, data["pid"], data["cpu"])
+            elif category == "kernel.preempt":
+                linter.preempt(time, data["pid"], data["cpu"], "preempt")
+            elif category == "kernel.yield":
+                linter.preempt(time, data["pid"], data["cpu"], "yield")
+            elif category == "kernel.block":
+                linter.block(time, data["pid"])
+            elif category == "kernel.wake":
+                linter.wake(time, data["pid"])
+            elif category == "kernel.exit":
+                linter.exit(time, data["pid"])
+            elif category == "spin.holder_preempted" and linter.check_spin:
+                holder = data.get("holder")
+                if holder in linter.running:
+                    linter.issue(
+                        time,
+                        "holder-running",
+                        f"lock {data.get('lock')!r} reported holder "
+                        f"{holder} preempted, but it is running on cpu "
+                        f"{linter.running[holder]}",
+                    )
+        if linter.check_suspension:
+            if category == "pc.suspend":
+                linter.pc_suspend(time, data["pid"])
+            elif category == "pc.resume":
+                linter.pc_resume(time, data["pid"])
+            elif category == "pc.wake":
+                linter.pc_wake(time, data["pid"], data.get("payload"))
+        if linter.check_server and category == "server.update":
+            linter.server_update(time, data.get("targets", {}))
+
+    enabled = ["monotonic-time", "online-violations"]
+    if linter.check_occupancy:
+        enabled.append("occupancy")
+    if linter.check_suspension:
+        enabled.append("suspension-protocol")
+    if linter.check_server:
+        enabled.append("server-decisions")
+    if linter.check_spin:
+        enabled.append("spin-witness")
+    return LintReport(
+        issues=linter.issues,
+        records_checked=count,
+        checks_enabled=tuple(enabled),
+    )

@@ -1,0 +1,134 @@
+"""Differential oracles for the simulator's two risky optimizations.
+
+The engine is deterministic (integer clock, FIFO tie-breaks, no OS
+entropy), so any two runs of the same scenario must produce *bit-identical*
+event sequences.  That determinism turns optimized/reference pairs into
+cheap end-to-end oracles:
+
+* **Scheduler oracle** -- the epoch-normalized, lazily-invalidated min-heap
+  of :class:`~repro.kernel.scheduler.decay.PriorityDecayScheduler` against
+  the plain-list O(n) rescan of
+  :class:`~repro.kernel.scheduler.decay_ref.ReferenceDecayScheduler`.
+* **Loop oracle** -- the fused ``Engine.run_until_done`` loop (inlined
+  step, exit-gated predicate) against the plain ``step()`` loop.
+
+Both compare the full dispatch trace -- the ``(time, pid, cpu)`` sequence
+of every ``kernel.dispatch`` record -- which pins down scheduling order,
+timing, and placement at once.  Any divergence is a bug in one side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim import TraceLog
+from repro.workloads.runner import run_scenario
+from repro.workloads.scenario import Scenario
+
+#: A dispatch event, as compared by the oracles.
+DispatchEvent = Tuple[int, int, int]  # (time_us, pid, cpu)
+
+
+@dataclass(frozen=True)
+class OracleMismatch:
+    """First point where two dispatch traces diverge."""
+
+    seed: int
+    index: int
+    expected: Optional[DispatchEvent]
+    actual: Optional[DispatchEvent]
+
+    def __str__(self) -> str:
+        return (
+            f"seed {self.seed}: dispatch #{self.index} diverged: "
+            f"reference {self.expected} vs optimized {self.actual}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential comparison across seeds."""
+
+    label: str
+    seeds: Tuple[int, ...] = ()
+    events_compared: int = 0
+    mismatches: List[OracleMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        state = "identical" if self.ok else f"{len(self.mismatches)} mismatch(es)"
+        return (
+            f"oracle[{self.label}]: {state} over {self.events_compared} "
+            f"dispatches, seeds {list(self.seeds)}"
+        )
+
+
+def dispatch_trace(trace: TraceLog) -> List[DispatchEvent]:
+    """The ``(time, pid, cpu)`` sequence of every dispatch in *trace*."""
+    return [
+        (record.time, record.data["pid"], record.data["cpu"])
+        for record in trace.records("kernel.dispatch")
+    ]
+
+
+def _run_dispatches(scenario: Scenario, engine_loop: str) -> List[DispatchEvent]:
+    # A dedicated dispatch-only trace keeps memory flat on long runs; the
+    # sanitizer stays off so the oracle isolates exactly one variable.
+    trace = TraceLog(categories=("kernel.dispatch",))
+    run_scenario(scenario, trace=trace, sanitize=False, engine_loop=engine_loop)
+    return dispatch_trace(trace)
+
+
+def _compare(
+    report: OracleReport, seed: int, expected: List[DispatchEvent], actual: List[DispatchEvent]
+) -> None:
+    report.events_compared += max(len(expected), len(actual))
+    limit = max(len(expected), len(actual))
+    for index in range(limit):
+        left = expected[index] if index < len(expected) else None
+        right = actual[index] if index < len(actual) else None
+        if left != right:
+            report.mismatches.append(OracleMismatch(seed, index, left, right))
+            return  # everything after the first divergence is noise
+
+
+def check_decay_oracle(
+    scenario_factory,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> OracleReport:
+    """Run lazy-decay vs the O(n) reference on each seeded scenario.
+
+    *scenario_factory(seed)* must build a fresh :class:`Scenario`; its
+    ``scheduler`` field is overridden on each side.
+    """
+    report = OracleReport(label="decay-vs-reference", seeds=tuple(seeds))
+    for seed in seeds:
+        # A fresh scenario per side: application factories may close over
+        # per-build state, and the oracle must not share any of it.
+        reference = _run_dispatches(
+            replace(scenario_factory(seed), scheduler="decay-ref"),
+            engine_loop="fused",
+        )
+        optimized = _run_dispatches(
+            replace(scenario_factory(seed), scheduler="decay"),
+            engine_loop="fused",
+        )
+        _compare(report, seed, reference, optimized)
+    return report
+
+
+def check_loop_oracle(
+    scenario_factory,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> OracleReport:
+    """Run the fused event loop vs the plain ``step()`` loop per seed."""
+    report = OracleReport(label="fused-vs-plain-loop", seeds=tuple(seeds))
+    for seed in seeds:
+        reference = _run_dispatches(scenario_factory(seed), engine_loop="plain")
+        optimized = _run_dispatches(scenario_factory(seed), engine_loop="fused")
+        _compare(report, seed, reference, optimized)
+    return report

@@ -16,12 +16,14 @@ from repro.core.server import ProcessControlServer
 from repro.kernel import Kernel, syscalls as sc
 from repro.machine import Machine
 from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
+from repro.sanitize.invariants import SchedSanitizer, sanitize_mode_from_env
 from repro.sim import Engine, TraceLog
 from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
 from repro.workloads.scenario import Scenario
 from repro.workloads.schedulers import make_scheduler
 
-#: Trace categories the runner needs for its result reduction.
+#: Trace categories the runner needs for its result reduction (the
+#: ``sanitize.*`` ones are silent unless a sanitizer is attached).
 RUNNER_TRACE_CATEGORIES = (
     "kernel.runnable",
     "app.finished",
@@ -29,6 +31,8 @@ RUNNER_TRACE_CATEGORIES = (
     "pc.poll",
     "pc.suspend",
     "pc.resume",
+    "sanitize.violation",
+    "sanitize.lock_holder_preempted",
 )
 
 
@@ -75,6 +79,12 @@ class ScenarioResult:
     #: the perf benchmarks: events/sec = events_fired / harness wall time).
     events_fired: int
     trace: TraceLog = field(repr=False)
+    #: Invariant violations observed by the sanitizer (0 when it was off
+    #: or the run was clean; see ``sanitizer_counters`` to distinguish).
+    sanitizer_violations: int = 0
+    #: The sanitizer's full counter map (checks run, per-check violation
+    #: counts, witnessed lock-holder preemptions); ``None`` = sanitizer off.
+    sanitizer_counters: Optional[Dict[str, int]] = None
 
     def wall_time(self, app_id: str) -> int:
         """Wall time of one application (convenience accessor)."""
@@ -137,10 +147,26 @@ def run_scenario(
     scenario: Scenario,
     trace: Optional[TraceLog] = None,
     max_events: int = 50_000_000,
+    sanitize: Optional[object] = None,
+    engine_loop: str = "fused",
 ) -> ScenarioResult:
-    """Run *scenario* to completion and reduce its measurements."""
+    """Run *scenario* to completion and reduce its measurements.
+
+    *sanitize* selects the invariant checker: ``None`` (default) consults
+    the ``REPRO_SANITIZE`` environment knob, ``False`` forces it off,
+    ``"strict"``/``True`` raises on the first violation, ``"record"``
+    accumulates violations into the result.  *engine_loop* picks the event
+    loop (``"fused"`` or ``"plain"``, see
+    :meth:`~repro.kernel.kernel.Kernel.run_until_quiescent`).
+    """
     if not scenario.apps:
         raise ValueError("scenario has no applications")
+    if sanitize is None:
+        sanitize = sanitize_mode_from_env()
+    elif sanitize is True:
+        sanitize = "strict"
+    elif sanitize is False:
+        sanitize = None
     engine = Engine()
     machine = Machine(scenario.machine)
     if trace is None:
@@ -152,6 +178,11 @@ def run_scenario(
         config=scenario.kernel,
         trace=trace,
     )
+    sanitizer: Optional[SchedSanitizer] = None
+    if sanitize:
+        # Attach before anything is spawned so the shadow state starts
+        # empty; the server-share watch is armed once the server exists.
+        sanitizer = SchedSanitizer(kernel, mode=sanitize).attach()
 
     app_controls = [spec.control_mode(scenario.control) for spec in scenario.apps]
     server: Optional[ProcessControlServer] = None
@@ -167,6 +198,8 @@ def run_scenario(
             partition_policy=partition_policy,
         )
         server.start()
+        if sanitizer is not None:
+            sanitizer.watch_server(server, poll_interval=scenario.poll_interval)
 
     packages: List[ThreadsPackage] = []
     for index, spec in enumerate(scenario.apps):
@@ -211,8 +244,11 @@ def run_scenario(
         # The predicate cannot be true while any worker is alive, so let
         # the event loop skip it until the kernel's exit path says so.
         done_exit_gated=True,
+        loop=engine_loop,
     )
     kernel.finalize_accounting()
+    if sanitizer is not None:
+        sanitizer.finish()
 
     apps: Dict[str, AppResult] = {}
     for package in packages:
@@ -266,4 +302,6 @@ def run_scenario(
         total_context_switches=total_switches,
         events_fired=engine.events_fired,
         trace=trace,
+        sanitizer_violations=len(sanitizer.violations) if sanitizer else 0,
+        sanitizer_counters=dict(sanitizer.counters) if sanitizer else None,
     )

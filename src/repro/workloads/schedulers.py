@@ -15,6 +15,7 @@ from repro.kernel.scheduler import (
     NoPreemptAwareScheduler,
     PriorityDecayScheduler,
     ProcessGroupScheduler,
+    ReferenceDecayScheduler,
     SchedulerPolicy,
     SpacePartitionScheduler,
 )
@@ -22,6 +23,9 @@ from repro.kernel.scheduler import (
 _FACTORIES: Dict[str, Callable[[], SchedulerPolicy]] = {
     "fifo": FifoScheduler,
     "decay": PriorityDecayScheduler,
+    # The O(n) rescan reference implementation; exists for the sanitizer's
+    # differential oracle and must trace identically to "decay".
+    "decay-ref": ReferenceDecayScheduler,
     "coscheduling": CoschedulingScheduler,
     "nopreempt": NoPreemptAwareScheduler,
     "groups": ProcessGroupScheduler,

@@ -9,27 +9,21 @@ from repro.analysis import (
     pressure_summary,
     waste_breakdown,
 )
-from repro.apps import UniformApp
-from repro.machine import MachineConfig
 from repro.sim import units
 from repro.workloads import AppSpec, Scenario, run_scenario
+
+from tests.conftest import scenario_machine, uniform
 
 
 def run_small(control=None, n_processes=4):
     return run_scenario(
         Scenario(
             apps=[
-                AppSpec(
-                    lambda: UniformApp("a", n_tasks=40, task_cost=units.ms(5)),
-                    n_processes,
-                ),
-                AppSpec(
-                    lambda: UniformApp("b", n_tasks=40, task_cost=units.ms(5)),
-                    n_processes,
-                ),
+                AppSpec(uniform("a", n_tasks=40), n_processes),
+                AppSpec(uniform("b", n_tasks=40), n_processes),
             ],
             control=control,
-            machine=MachineConfig(n_processors=4, quantum=units.ms(10)),
+            machine=scenario_machine(),
             poll_interval=units.ms(50),
             server_interval=units.ms(50),
         )

@@ -3,19 +3,11 @@ and the partition-aware server."""
 
 import pytest
 
-from repro.apps import UniformApp
-from repro.machine import MachineConfig
 from repro.sim import units
 from repro.workloads import AppSpec, Scenario, run_scenario
 from repro.workloads.scenario import INHERIT_CONTROL
 
-
-def uniform(name, n_tasks=60, cost=units.ms(5)):
-    return lambda: UniformApp(app_id=name, n_tasks=n_tasks, task_cost=cost)
-
-
-def machine(n=4):
-    return MachineConfig(n_processors=n, quantum=units.ms(10))
+from tests.conftest import scenario_machine as machine, uniform
 
 
 class TestPerAppControl:

@@ -2,12 +2,11 @@
 
 from repro.apps import UniformApp
 from repro.kernel.scheduler import NoPreemptAwareScheduler
-from repro.machine import MachineConfig
 from repro.sim import units
 from repro.threads import ThreadsPackage, ThreadsPackageConfig
 from repro.workloads import AppSpec, Scenario, run_scenario
 
-from tests.conftest import make_kernel
+from tests.conftest import make_kernel, scenario_machine
 
 
 class TestNoPreemptFlags:
@@ -56,7 +55,7 @@ class TestNoPreemptFlags:
                 ],
                 scheduler="nopreempt",
                 use_no_preempt_flags=True,
-                machine=MachineConfig(n_processors=2, quantum=units.ms(2)),
+                machine=scenario_machine(2, quantum=units.ms(2)),
             )
         )
         assert result.apps["uniform"].tasks_completed == 40

@@ -1,0 +1,180 @@
+"""Post-hoc trace lint: synthetic traces exercising each check, and the
+``wants()`` gating that disables check groups on filtered logs."""
+
+from repro.sanitize import lint_trace
+from repro.sim import TraceLog
+from repro.threads.control import FINISH, RESUME
+
+
+def full_trace():
+    """An unfiltered TraceLog (every lint check group enabled)."""
+    return TraceLog()
+
+
+def checks(report):
+    return {issue.check for issue in report.issues}
+
+
+class TestOccupancy:
+    def test_clean_dispatch_preempt_cycle(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(100, "kernel.preempt", pid=1, cpu=0)
+        trace.emit(100, "kernel.dispatch", pid=2, cpu=0)
+        trace.emit(200, "kernel.exit", pid=2)
+        report = lint_trace(trace, n_processors=1)
+        assert report.ok
+        assert report.records_checked == 4
+        assert "occupancy" in report.checks_enabled
+
+    def test_dispatch_onto_busy_cpu(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(50, "kernel.dispatch", pid=2, cpu=0)
+        assert "dispatch-busy-cpu" in checks(lint_trace(trace))
+
+    def test_dispatch_while_already_running(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(50, "kernel.dispatch", pid=1, cpu=1)
+        assert "dispatch-while-running" in checks(lint_trace(trace))
+
+    def test_dispatch_bad_cpu_needs_n_processors(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=7)
+        assert lint_trace(trace).ok  # bound unknown: no issue
+        assert "dispatch-bad-cpu" in checks(lint_trace(trace, n_processors=4))
+
+    def test_preempt_yield_block_exit_of_non_running(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.preempt", pid=1, cpu=0)
+        trace.emit(1, "kernel.yield", pid=2, cpu=0)
+        trace.emit(2, "kernel.block", pid=3)
+        trace.emit(3, "kernel.exit", pid=4)
+        found = checks(lint_trace(trace))
+        assert {
+            "preempt-not-running",
+            "yield-not-running",
+            "block-not-running",
+            "exit-not-running",
+        } <= found
+
+    def test_wake_paths(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(10, "kernel.wake", pid=1)  # wake of a running process
+        trace.emit(20, "kernel.wake", pid=2)  # wake with no prior block
+        found = checks(lint_trace(trace))
+        assert {"wake-running", "wake-without-block"} <= found
+
+    def test_block_then_wake_is_clean(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(10, "kernel.block", pid=1)
+        trace.emit(20, "kernel.wake", pid=1)
+        assert lint_trace(trace).ok
+
+    def test_monotonic_time(self):
+        trace = full_trace()
+        trace.emit(100, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(50, "kernel.exit", pid=1)
+        assert "monotonic-time" in checks(lint_trace(trace))
+
+
+class TestSuspensionProtocol:
+    def test_clean_suspend_resume_wake(self):
+        trace = full_trace()
+        trace.emit(0, "pc.suspend", app_id="a", pid=1)
+        trace.emit(10, "pc.resume", app_id="a", pid=1)
+        trace.emit(10, "pc.wake", app_id="a", pid=1, payload=RESUME)
+        assert lint_trace(trace).ok
+
+    def test_double_suspend(self):
+        trace = full_trace()
+        trace.emit(0, "pc.suspend", pid=1)
+        trace.emit(5, "pc.suspend", pid=1)
+        assert "double-suspend" in checks(lint_trace(trace))
+
+    def test_resume_without_suspend(self):
+        trace = full_trace()
+        trace.emit(0, "pc.resume", pid=1)
+        assert "resume-without-suspend" in checks(lint_trace(trace))
+
+    def test_wake_without_resume(self):
+        trace = full_trace()
+        trace.emit(0, "pc.wake", pid=1, payload=RESUME)
+        assert "wake-without-resume" in checks(lint_trace(trace))
+
+    def test_finish_wake_bypasses_resume(self):
+        # Shutdown wakes legally skip pc.resume but require a parked worker.
+        trace = full_trace()
+        trace.emit(0, "pc.suspend", pid=1)
+        trace.emit(10, "pc.wake", pid=1, payload=FINISH)
+        assert lint_trace(trace).ok
+
+    def test_finish_wake_of_unparked_worker(self):
+        trace = full_trace()
+        trace.emit(0, "pc.wake", pid=1, payload=FINISH)
+        assert "wake-without-suspend" in checks(lint_trace(trace))
+
+    def test_unknown_wake_payload(self):
+        trace = full_trace()
+        trace.emit(0, "pc.suspend", pid=1)
+        trace.emit(10, "pc.wake", pid=1, payload="mystery")
+        assert "unknown-wake-payload" in checks(lint_trace(trace))
+
+
+class TestServerDecisions:
+    def test_zero_target(self):
+        trace = full_trace()
+        trace.emit(0, "server.update", targets={"a": 0, "b": 4})
+        assert "zero-target" in checks(lint_trace(trace, n_processors=4))
+
+    def test_oversubscribed_decision(self):
+        trace = full_trace()
+        trace.emit(0, "server.update", targets={"a": 3, "b": 3})
+        assert "oversubscribed-decision" in checks(lint_trace(trace, n_processors=4))
+
+    def test_starvation_floor_allows_sum_above_p(self):
+        # With more apps than processors every app still gets >= 1, so the
+        # legal bound is len(targets), not P.
+        trace = full_trace()
+        targets = {f"app{i}": 1 for i in range(6)}
+        trace.emit(0, "server.update", targets=targets)
+        assert lint_trace(trace, n_processors=4).ok
+
+
+class TestSpinWitness:
+    def test_holder_running_contradiction(self):
+        trace = full_trace()
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(10, "spin.holder_preempted", lock="q", pid=2, holder=1)
+        assert "holder-running" in checks(lint_trace(trace, n_processors=2))
+
+
+class TestWantsGating:
+    def test_filtered_trace_disables_occupancy(self):
+        # Only dispatches are kept: preempt/block records were dropped, so
+        # the occupancy automaton would report nonsense.  The gate must
+        # switch the whole group off.
+        trace = TraceLog(categories=["kernel.dispatch"])
+        trace.emit(0, "kernel.dispatch", pid=1, cpu=0)
+        trace.emit(50, "kernel.dispatch", pid=2, cpu=0)  # would be busy-cpu
+        report = lint_trace(trace, n_processors=1)
+        assert report.ok
+        assert "occupancy" not in report.checks_enabled
+        assert "suspension-protocol" not in report.checks_enabled
+
+    def test_online_violations_survive_filtering(self):
+        # sanitize.violation records are surfaced even on filtered logs.
+        trace = TraceLog(categories=["sanitize.violation"])
+        trace.emit(3, "sanitize.violation", check="census-mismatch", message="dup")
+        report = lint_trace(trace)
+        assert not report.ok
+        assert checks(report) == {"online-violation"}
+
+    def test_summary_strings(self):
+        trace = full_trace()
+        assert "clean" in lint_trace(trace).summary()
+        trace.emit(0, "pc.resume", pid=1)
+        assert "issue" in lint_trace(trace).summary()

@@ -1,0 +1,135 @@
+"""Differential oracles: lazy-decay vs the O(n) reference scan, the fused
+event loop vs the plain one, and the forced-compaction regression for the
+stale-heap-binding bug class."""
+
+import pytest
+
+from repro.kernel import syscalls as sc
+from repro.sanitize import SchedSanitizer
+from repro.sanitize.oracle import (
+    check_decay_oracle,
+    check_loop_oracle,
+    dispatch_trace,
+)
+from repro.sim import TraceLog, units
+from repro.workloads import SCHEDULER_NAMES, AppSpec, Scenario
+
+from tests.conftest import make_kernel, small_machine, uniform
+
+
+def seeded_scenario(seed, scheduler="fifo"):
+    """A small oversubscribed two-app workload; the seed changes both the
+    task count and the per-task cost jitter, so each seed is a genuinely
+    different schedule."""
+    from repro.apps import UniformApp
+
+    def app(name):
+        return lambda: UniformApp(
+            app_id=name,
+            n_tasks=10 + seed,
+            task_cost=units.ms(3),
+            jitter=0.3,
+            seed=seed,
+        )
+
+    return Scenario(
+        apps=[
+            AppSpec(app("a"), 3),
+            AppSpec(app("b"), 2, arrival=units.ms(7)),
+        ],
+        machine=small_machine(),
+        scheduler=scheduler,
+    )
+
+
+class TestDecayOracle:
+    def test_reference_matches_optimized(self):
+        report = check_decay_oracle(seeded_scenario, seeds=(1, 2, 3))
+        assert report.ok, report.summary()
+        assert report.events_compared > 0
+        assert report.seeds == (1, 2, 3)
+
+    def test_summary_mentions_label(self):
+        report = check_decay_oracle(seeded_scenario, seeds=(1,))
+        assert "decay-vs-reference" in report.summary()
+
+
+class TestLoopOracle:
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    def test_plain_and_fused_loops_agree(self, scheduler):
+        report = check_loop_oracle(
+            lambda seed: seeded_scenario(seed, scheduler=scheduler),
+            seeds=(1, 2, 3),
+        )
+        assert report.ok, f"{scheduler}: {report.summary()}"
+        assert report.events_compared > 0
+
+
+class TestCompactionRegression:
+    """The PR-1 bug class: ``run_until_done`` holds a local binding to the
+    calendar heap across callbacks, so a compaction fired *inside* a
+    callback must mutate the heap in place.  Force one mid-run and require
+    the fused loop's dispatch trace to match the plain loop's exactly."""
+
+    def _run(self, loop):
+        trace = TraceLog(categories=["kernel.dispatch"])
+        kernel = make_kernel(
+            n_processors=2, quantum=units.ms(1), trace=trace,
+        )
+        engine = kernel.engine
+        sanitizer = SchedSanitizer(kernel, deep_period=1).attach()
+
+        def compute_program(amount, chunks):
+            def program():
+                for _ in range(chunks):
+                    yield sc.Compute(amount)
+
+            return program()
+
+        for i in range(6):
+            kernel.spawn(compute_program(units.ms(2), chunks=4), name=f"p{i}")
+
+        def churn():
+            # Enough cancelled garbage to out-number the live entries and
+            # cross the compaction threshold, so _note_cancel() compacts
+            # the heap while this callback is still on the loop's stack.
+            handles = [
+                engine.schedule(units.ms(500) + i, lambda: None, "junk")
+                for i in range(400)
+            ]
+            for handle in handles:
+                handle.cancel()
+            engine._compact()  # and once more, explicitly
+
+        engine.schedule(units.ms(5), churn, "compaction-churn")
+        kernel.run_until_quiescent(loop=loop)
+        sanitizer.finish()
+        assert sanitizer.ok
+        return dispatch_trace(trace)
+
+    def test_fused_trace_matches_plain_after_forced_compaction(self):
+        plain = self._run("plain")
+        fused = self._run("fused")
+        assert len(plain) > 10
+        assert fused == plain
+
+    def test_scenario_level_loops_agree_under_sanitizer(self):
+        """End-to-end: run_scenario with engine_loop plain vs fused under
+        strict sanitizing produces identical dispatch traces."""
+        from repro.workloads import run_scenario
+
+        def run(loop):
+            trace = TraceLog(categories=["kernel.dispatch"])
+            run_scenario(
+                Scenario(
+                    apps=[AppSpec(uniform(n_tasks=16), 4)],
+                    machine=small_machine(2),
+                    control="centralized",
+                ),
+                trace=trace,
+                sanitize="strict",
+                engine_loop=loop,
+            )
+            return dispatch_trace(trace)
+
+        assert run("plain") == run("fused")

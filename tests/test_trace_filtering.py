@@ -1,0 +1,95 @@
+"""TraceLog filtering semantics: category sets, ``wants()`` gating, and the
+``enabled`` toggle (records dropped while disabled stay dropped after
+re-enabling)."""
+
+from repro.kernel import syscalls as sc
+from repro.sim import TraceLog, units
+
+from tests.conftest import make_kernel
+
+
+class TestCategoryFiltering:
+    def test_unfiltered_keeps_everything(self):
+        trace = TraceLog()
+        trace.emit(0, "a.x", v=1)
+        trace.emit(1, "b.y", v=2)
+        assert len(trace) == 2
+        assert trace.categories() == {"a.x", "b.y"}
+
+    def test_category_filter_drops_others(self):
+        trace = TraceLog(categories=["a.x"])
+        trace.emit(0, "a.x", v=1)
+        trace.emit(1, "b.y", v=2)
+        assert [r.category for r in trace] == ["a.x"]
+
+    def test_records_accessor_filters(self):
+        trace = TraceLog()
+        trace.emit(0, "a.x", v=1)
+        trace.emit(1, "b.y", v=2)
+        trace.emit(2, "a.x", v=3)
+        assert [r.data["v"] for r in trace.records("a.x")] == [1, 3]
+        assert len(trace.records()) == 3
+
+    def test_wants_reflects_filter(self):
+        trace = TraceLog(categories=["a.x"])
+        assert trace.wants("a.x")
+        assert not trace.wants("b.y")
+        assert TraceLog().wants("anything")
+
+    def test_clear(self):
+        trace = TraceLog()
+        trace.emit(0, "a.x")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestEnabledToggle:
+    def test_disabled_wants_nothing(self):
+        trace = TraceLog(enabled=False)
+        assert not trace.wants("a.x")
+        trace.emit(0, "a.x", v=1)
+        assert len(trace) == 0
+
+    def test_records_dropped_while_disabled_stay_dropped(self):
+        # The off->on edge: nothing emitted during the disabled window is
+        # recovered, and recording resumes cleanly afterwards.
+        trace = TraceLog(categories=["a.x"])
+        trace.emit(0, "a.x", v="before")
+        trace.enabled = False
+        trace.emit(1, "a.x", v="during")
+        trace.emit(2, "b.y", v="during-other")
+        assert not trace.wants("a.x")
+        trace.enabled = True
+        trace.emit(3, "a.x", v="after")
+        values = [r.data["v"] for r in trace]
+        assert values == ["before", "after"]
+        # The filter survived the toggle: b.y is still rejected.
+        assert not trace.wants("b.y")
+
+    def test_kernel_respects_midrun_toggle(self):
+        """End-to-end: disabling the trace mid-run suppresses the kernel's
+        dispatch records for that window only."""
+        trace = TraceLog(categories=["kernel.dispatch"])
+        kernel = make_kernel(n_processors=1, quantum=units.ms(1), trace=trace)
+
+        def program():
+            for _ in range(4):
+                yield sc.Compute(units.ms(1))
+
+        kernel.spawn(program(), name="a")
+        kernel.spawn(program(), name="b")
+
+        def blackout_on():
+            trace.enabled = False
+
+        def blackout_off():
+            trace.enabled = True
+
+        kernel.engine.schedule(units.ms(2), blackout_on, "blackout-on")
+        kernel.engine.schedule(units.ms(5), blackout_off, "blackout-off")
+        kernel.run_until_quiescent()
+        times = [r.time for r in trace.records("kernel.dispatch")]
+        assert times, "expected dispatches outside the blackout"
+        assert not [t for t in times if units.ms(2) <= t < units.ms(5)]
+        # Dispatches resumed after the blackout lifted.
+        assert any(t >= units.ms(5) for t in times)

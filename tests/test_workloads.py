@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.apps import UniformApp
 from repro.kernel import KernelConfig
-from repro.machine import MachineConfig
 from repro.sim import units
 from repro.workloads import (
     AppSpec,
@@ -13,18 +11,7 @@ from repro.workloads import (
     run_scenario,
 )
 
-
-def small_machine():
-    return MachineConfig(
-        n_processors=4,
-        quantum=units.ms(10),
-        context_switch_cost=100,
-        cache_affinity_enabled=False,
-    )
-
-
-def uniform(name="u", n_tasks=20, cost=units.ms(5)):
-    return lambda: UniformApp(app_id=name, n_tasks=n_tasks, task_cost=cost)
+from tests.conftest import small_machine, uniform
 
 
 class TestScenarioValidation:
