@@ -48,6 +48,8 @@ class ProcessControlServer:
         self.interval = interval if interval is not None else units.seconds(6)
         if self.interval <= 0:
             raise ValueError("server interval must be positive")
+        if compute_cost < 0:
+            raise ValueError("server compute_cost must be >= 0")
         self.compute_cost = compute_cost
         self.weights = dict(weights) if weights else None
         self.name = name
@@ -65,6 +67,12 @@ class ProcessControlServer:
         self.registered: Dict[str, int] = {}
         #: (time, targets) after every update -- experiment diagnostics.
         self.history: List[Tuple[int, Dict[str, int]]] = []
+        #: Fault-injection hook: when set, called once per round and the
+        #: returned offset (us, may be negative) is added to the sleep
+        #: interval.  ``None`` (the default) sleeps exactly ``interval``.
+        self.interval_jitter = None
+        self.crashes = 0
+        self.restarts = 0
 
     def start(self) -> Process:
         """Spawn the server process (daemon: it never exits by itself)."""
@@ -74,6 +82,49 @@ class ProcessControlServer:
             self._program(), name=self.name, daemon=True, controllable=False
         )
         self.pid = process.pid
+        return process
+
+    def crash(self) -> bool:
+        """Kill the server process in place (fault injection).
+
+        The board deliberately keeps its now-stale targets: applications
+        discover the outage through their stale-target TTL, not through
+        the crash itself -- exactly the partial-failure mode a silent
+        server death produces.  Returns ``False`` if not running.
+        """
+        if self.pid is None:
+            return False
+        killed = self.kernel.kill(self.pid)
+        self.kernel.trace.emit(self.kernel.now, "server.crash", pid=self.pid)
+        self.pid = None
+        self.crashes += 1
+        return killed
+
+    def restart(self) -> Process:
+        """Restart after a crash, rebuilding the registry from the process
+        table (the crash-safe re-registration the module docstring
+        promises: registration is a courtesy, the table is the truth)."""
+        if self.pid is not None:
+            raise RuntimeError("server is already running")
+        rebuilt: Dict[str, int] = {}
+        for process in self.kernel.processes.values():
+            if process.alive and process.controllable and process.app_id:
+                root = rebuilt.get(process.app_id)
+                # The root is the first-spawned (lowest-pid) live worker.
+                if root is None or process.pid < root:
+                    rebuilt[process.app_id] = process.pid
+        self.registered = rebuilt
+        process = self.kernel.spawn(
+            self._program(), name=self.name, daemon=True, controllable=False
+        )
+        self.pid = process.pid
+        self.restarts += 1
+        self.kernel.trace.emit(
+            self.kernel.now,
+            "server.restart",
+            pid=self.pid,
+            reregistered=sorted(rebuilt),
+        )
         return process
 
     def compute_targets(
@@ -105,7 +156,11 @@ class ProcessControlServer:
                 for app_id, total in app_totals.items()
             }
         return partition_processors(
-            self.kernel.machine.n_processors,
+            # Only the processors that are actually in service: the
+            # water-filling policy's >=1-per-application floor then keeps
+            # every application alive even under CPU loss (the starvation
+            # floor holds because it is computed against real capacity).
+            self.kernel.online_processor_count(),
             uncontrolled,
             app_totals,
             self.weights,
@@ -136,4 +191,7 @@ class ProcessControlServer:
             self.kernel.trace.emit(
                 self.kernel.now, "server.update", targets=dict(targets)
             )
-            yield sc.Sleep(self.interval)
+            sleep_for = self.interval
+            if self.interval_jitter is not None:
+                sleep_for = max(1, sleep_for + int(self.interval_jitter()))
+            yield sc.Sleep(sleep_for)

@@ -12,6 +12,8 @@ import argparse
 import os
 
 from repro.experiments.parallel import JOBS_ENV_VAR
+from repro.faults.campaign import main as chaos_main
+from repro.faults.plan import FAULTS_ENV_VAR
 from repro.sanitize.invariants import SANITIZE_ENV_VAR
 from repro.experiments import (
     ablations,
@@ -35,6 +37,7 @@ _EXPERIMENTS = {
     "ablations": ablations.main,
     "mechanisms": mechanisms.main,
     "steady-state": steady_state.main,
+    "chaos": chaos_main,
 }
 
 
@@ -73,6 +76,14 @@ def main() -> None:
         "checker (default mode: strict, which aborts on the first "
         "violation; 'record' keeps running and tallies them)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan applied to every scenario, e.g. "
+        "'cpu-offline:cpu=1,at=10ms;server-crash:at=20ms,down=60ms' "
+        "(see docs/FAULTS.md; equivalent to setting $REPRO_FAULTS)",
+    )
     args = parser.parse_args()
     if args.jobs is not None:
         # The sweep runners consult REPRO_JOBS; routing the flag through
@@ -83,6 +94,8 @@ def main() -> None:
         # Same routing trick as --jobs: run_scenario consults the env var,
         # and the sweep runners re-export it to their worker processes.
         os.environ[SANITIZE_ENV_VAR] = args.sanitize
+    if args.faults is not None:
+        os.environ[FAULTS_ENV_VAR] = args.faults
     if args.experiment == "all":
         for name in sorted(_EXPERIMENTS):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

@@ -65,23 +65,30 @@ def _baseline_cell(args) -> int:
     return result.apps[name].wall_time
 
 
+def figure1_scenario(n: int, preset: str = "paper", seed: int = 0) -> Scenario:
+    """The figure's scenario at one processes-per-application point.
+
+    Exposed separately so the golden-trace regression tests can replay
+    exactly the runs the sweep measures.
+    """
+    defaults = paper_scenario_defaults(preset, seed)
+    factories = app_factories(preset, seed)
+    return Scenario(
+        apps=[
+            AppSpec(factories["matmul"], n),
+            AppSpec(factories["fft"], n),
+        ],
+        control=None,
+        machine=defaults.machine,
+        scheduler=defaults.scheduler,
+        seed=seed,
+    )
+
+
 def _sweep_cell(args):
     """Sweep cell: (matmul, fft) wall times at one processes-per-app point."""
     n, preset, seed = args
-    defaults = paper_scenario_defaults(preset, seed)
-    factories = app_factories(preset, seed)
-    result = run_scenario(
-        Scenario(
-            apps=[
-                AppSpec(factories["matmul"], n),
-                AppSpec(factories["fft"], n),
-            ],
-            control=None,
-            machine=defaults.machine,
-            scheduler=defaults.scheduler,
-            seed=seed,
-        )
-    )
+    result = run_scenario(figure1_scenario(n, preset, seed))
     return result.apps["matmul"].wall_time, result.apps["fft"].wall_time
 
 

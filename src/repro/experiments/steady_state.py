@@ -72,18 +72,18 @@ def _workload_config(preset: str) -> GeneratedWorkloadConfig:
     )
 
 
-def _steady_state_cell(args) -> Dict[str, object]:
-    """Sweep cell: one control mode's full run, reduced to plain data.
+def steady_state_scenario(
+    control: Optional[str], preset: str = "quick", seed: int = 0
+) -> Scenario:
+    """One control mode's generated-workload scenario.
 
-    The workload is regenerated inside the worker from (preset, seed) --
-    generation is deterministic, and shipping plain arguments keeps the
-    cell picklable.
+    Exposed separately so the golden-trace regression tests can replay
+    exactly the runs the experiment measures.
     """
-    control, preset, seed = args
     config = _workload_config(preset)
     arrivals = generate_arrivals(config, seed=seed)
     interval = poll_interval(preset)
-    scenario = Scenario(
+    return Scenario(
         apps=build_app_specs(arrivals, default_templates(), seed=seed),
         control=control,
         machine=paper_machine(),
@@ -93,7 +93,17 @@ def _steady_state_cell(args) -> Dict[str, object]:
         seed=seed,
         max_time=units.seconds(7200),
     )
-    result = run_scenario(scenario)
+
+
+def _steady_state_cell(args) -> Dict[str, object]:
+    """Sweep cell: one control mode's full run, reduced to plain data.
+
+    The workload is regenerated inside the worker from (preset, seed) --
+    generation is deterministic, and shipping plain arguments keeps the
+    cell picklable.
+    """
+    control, preset, seed = args
+    result = run_scenario(steady_state_scenario(control, preset, seed))
     return {
         "makespan": result.makespan,
         "walls": {app_id: app.wall_time for app_id, app in result.apps.items()},

@@ -28,6 +28,9 @@ class Channel:
         capacity: maximum queued messages; ``None`` means unbounded.
         messages: queued payloads.
         recv_waiters / send_waiters: blocked processes (kernel-managed).
+        fault_filter: fault-injection hook; maps an outgoing message to the
+            sequence actually delivered (``[]`` drops it, ``[m, m]``
+            duplicates it).  ``None`` (the default) delivers normally.
     """
 
     __slots__ = (
@@ -38,6 +41,7 @@ class Channel:
         "send_waiters",
         "sends",
         "receives",
+        "fault_filter",
     )
 
     def __init__(self, name: str = "channel", capacity: Optional[int] = None) -> None:
@@ -51,6 +55,7 @@ class Channel:
         self.send_waiters: List[Tuple[Any, Any]] = []
         self.sends = 0
         self.receives = 0
+        self.fault_filter = None
 
     @property
     def full(self) -> bool:

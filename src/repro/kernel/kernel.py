@@ -78,6 +78,12 @@ class Kernel:
         self._cpu: List[_CpuState] = [
             _CpuState() for _ in range(self.machine.n_processors)
         ]
+        #: Processors currently offline (fault injection / hot-unplug).
+        self._offline: set = set()
+        #: Cached tuple of online cpu ids: the dispatch pass iterates this
+        #: every event, so membership tests against ``_offline`` would be
+        #: pure overhead on the (usual) healthy machine.
+        self._dispatch_cpus = tuple(range(self.machine.n_processors))
         self._dispatch_scheduled = False
         self._last_runnable: Optional[tuple] = None
         # Hot-path caches: the processor list never changes after
@@ -198,6 +204,86 @@ class Kernel:
         """Preempt whatever runs on *cpu* now (used by gang scheduling)."""
         if self._processors[cpu].current is not None:
             self._preempt(cpu, reason="policy")
+
+    # ------------------------------------------------------------------
+    # CPU hot-plug (fault injection)
+    # ------------------------------------------------------------------
+
+    def cpu_is_online(self, cpu: int) -> bool:
+        """True if *cpu* is currently accepting work."""
+        return cpu not in self._offline
+
+    def online_cpus(self) -> List[int]:
+        """Ids of the processors currently online, ascending."""
+        return list(self._dispatch_cpus)
+
+    def online_processor_count(self) -> int:
+        """Number of processors currently online."""
+        return len(self._dispatch_cpus)
+
+    def cpu_offline(self, cpu: int) -> bool:
+        """Take *cpu* out of service, migrating its current process.
+
+        The victim (if any) is preempted back to the policy's queue first,
+        so it re-runs elsewhere with ordinary preemption semantics.  The
+        last online processor cannot be removed -- the machine must keep
+        making progress -- in which case this returns ``False`` and the
+        topology is unchanged.  Returns ``True`` when the cpu went offline.
+        """
+        if not 0 <= cpu < self.machine.n_processors:
+            raise ValueError(f"no such cpu {cpu}")
+        if cpu in self._offline:
+            return False
+        if len(self._dispatch_cpus) <= 1:
+            self.trace.emit(self.engine.now, "kernel.cpu_offline_refused", cpu=cpu)
+            return False
+        if self._processors[cpu].current is not None:
+            self._preempt(cpu, reason="offline")
+        self._offline.add(cpu)
+        self._dispatch_cpus = tuple(
+            c for c in range(self.machine.n_processors) if c not in self._offline
+        )
+        self.trace.emit(self.engine.now, "kernel.cpu_offline", cpu=cpu)
+        self.policy.on_cpu_offline(cpu)
+        return True
+
+    def cpu_online(self, cpu: int) -> bool:
+        """Return *cpu* to service.  Returns ``False`` if it was not offline."""
+        if not 0 <= cpu < self.machine.n_processors:
+            raise ValueError(f"no such cpu {cpu}")
+        if cpu not in self._offline:
+            return False
+        self._offline.discard(cpu)
+        self._dispatch_cpus = tuple(
+            c for c in range(self.machine.n_processors) if c not in self._offline
+        )
+        self.trace.emit(self.engine.now, "kernel.cpu_online", cpu=cpu)
+        self.policy.on_cpu_online(cpu)
+        self._request_dispatch()
+        return True
+
+    def kill(self, pid: int) -> bool:
+        """Forcibly terminate *pid* wherever it is (fault injection).
+
+        Works on RUNNING, READY, and BLOCKED processes; the victim is
+        detached from whatever wait list it was parked on.  Like a real
+        kill, any spinlock the victim holds is NOT released -- callers
+        model crashes of processes at safe points (e.g. the control
+        server).  Returns ``False`` if the pid is unknown or already dead.
+        """
+        process = self.processes.get(pid)
+        if process is None or not process.alive:
+            return False
+        self.trace.emit(
+            self.engine.now, "kernel.kill", pid=pid, state=process.state.name
+        )
+        if process.state is ProcessState.RUNNING:
+            if process.cpu is None:
+                raise SimulationError(f"running process {pid} has no cpu")
+            self._exit_current(process.cpu)
+        else:
+            self._terminate_off_cpu(process)
+        return True
 
     def request_dispatch(self) -> None:
         """Ask the kernel to fill idle processors (used by policies)."""
@@ -327,7 +413,7 @@ class Kernel:
 
     def _dispatch_pass(self) -> None:
         self._dispatch_scheduled = False
-        for cpu in range(self.machine.n_processors):
+        for cpu in self._dispatch_cpus:
             if self._processors[cpu].current is None:
                 process = self._policy_dequeue(cpu)
                 if process is not None:
@@ -546,6 +632,88 @@ class Kernel:
             listener(process)
         self._request_dispatch()
 
+    def _terminate_off_cpu(self, process: Process) -> None:
+        """Terminate a READY or BLOCKED process (the :meth:`kill` path).
+
+        Mirrors :meth:`_exit_current` minus the undispatch, plus detaching
+        the victim from whatever wait list it is parked on so nobody later
+        tries to wake a corpse.
+        """
+        if process.state is ProcessState.READY:
+            pass  # the policy drops its queue entry in on_process_exit
+        elif process.state is ProcessState.BLOCKED:
+            self._detach_from_wait_list(process)
+        else:
+            raise SimulationError(
+                f"off-cpu termination of process {process.pid} "
+                f"in state {process.state.name}"
+            )
+        process.state = ProcessState.TERMINATED
+        process.exit_time = self.engine.now
+        process.pending_syscall = None
+        process.ready_since = None
+        process.blocked_since = None
+        if not process.daemon:
+            self._alive_nondaemon -= 1
+            if self._alive_nondaemon == 0:
+                self.engine.done_hint = True
+        self.machine.cache.evict_process(process.pid)
+        self.policy.on_process_exit(process)
+        self.trace.emit(
+            self.engine.now, "kernel.exit", pid=process.pid, name=process.name
+        )
+        self._note_runnable_change()
+        joiners, process.join_waiters = process.join_waiters, []
+        for joiner in joiners:
+            joiner.pending_syscall = None
+            joiner.syscall_result = True
+            self._wake(joiner)
+        for listener in list(self.exit_listeners):
+            listener(process)
+        self._request_dispatch()
+
+    def _detach_from_wait_list(self, process: Process) -> None:
+        """Remove a BLOCKED *process* from the structure it is waiting on.
+
+        The pending syscall identifies the wait list.  A sleeping process
+        has no pending syscall; its wake event checks the state before
+        waking, so the corpse is simply ignored when the timer fires.
+        A process parked in WaitSignal is found via ``waiting_signal``.
+        """
+        if process.waiting_signal:
+            process.waiting_signal = False
+            return
+        syscall = process.pending_syscall
+        if isinstance(syscall, sc.MutexAcquire):
+            if process in syscall.mutex.waiters:
+                syscall.mutex.waiters.remove(process)
+        elif isinstance(syscall, sc.SemWait):
+            if process in syscall.sem.waiters:
+                syscall.sem.waiters.remove(process)
+        elif isinstance(syscall, sc.BarrierWait):
+            if process in syscall.barrier.waiters:
+                syscall.barrier.waiters.remove(process)
+        elif isinstance(syscall, sc.CondWait):
+            cond = syscall.cond
+            if process in cond.waiters:
+                cond.waiters.remove(process)
+            elif process in cond.mutex.waiters:
+                # Signalled under Mesa semantics but not yet granted the
+                # mutex: the process moved to the mutex queue.
+                cond.mutex.waiters.remove(process)
+        elif isinstance(syscall, sc.ChannelReceive):
+            if process in syscall.channel.recv_waiters:
+                syscall.channel.recv_waiters.remove(process)
+        elif isinstance(syscall, sc.ChannelSend):
+            syscall.channel.send_waiters = [
+                entry for entry in syscall.channel.send_waiters
+                if entry[0] is not process
+            ]
+        elif isinstance(syscall, sc.WaitPid):
+            target = self.processes.get(syscall.pid)
+            if target is not None and process in target.join_waiters:
+                target.join_waiters.remove(process)
+
     # ------------------------------------------------------------------
     # Syscall service loop
     # ------------------------------------------------------------------
@@ -745,12 +913,15 @@ class Kernel:
     ) -> bool:
         mutex = syscall.mutex
         mutex.note_released(process.pid)
-        if mutex.waiters:
+        while mutex.waiters:
             waiter = mutex.waiters.pop(0)
+            if waiter.state is ProcessState.TERMINATED:
+                continue  # killed while parked (fault injection)
             mutex.note_acquired(waiter.pid, contended=True)
             waiter.pending_syscall = None
             waiter.syscall_result = True
             self._wake(waiter)
+            break
         return self._finish_syscall(cpu, process, None, mutex.release_cost)
 
     def _sys_sem_wait(self, cpu: int, process: Process, syscall: sc.SemWait) -> bool:
@@ -766,11 +937,14 @@ class Kernel:
     def _sys_sem_post(self, cpu: int, process: Process, syscall: sc.SemPost) -> bool:
         sem = syscall.sem
         sem.posts += 1
-        if sem.waiters:
+        while sem.waiters:
             waiter = sem.waiters.pop(0)
+            if waiter.state is ProcessState.TERMINATED:
+                continue  # killed while parked (fault injection)
             waiter.pending_syscall = None
             waiter.syscall_result = None
             self._wake(waiter)
+            break
         else:
             sem.count += 1
         return self._finish_syscall(cpu, process, None, sem.post_cost)
@@ -830,8 +1004,12 @@ class Kernel:
     ) -> bool:
         cond = syscall.cond
         cond.signals += 1
-        if cond.waiters:
-            self._wake_cond_waiter(cond, cond.waiters.pop(0))
+        while cond.waiters:
+            waiter = cond.waiters.pop(0)
+            if waiter.state is ProcessState.TERMINATED:
+                continue  # killed while parked (fault injection)
+            self._wake_cond_waiter(cond, waiter)
+            break
         return self._finish_syscall(cpu, process, None, cond.wait_cost)
 
     def _sys_cond_broadcast(
@@ -841,6 +1019,8 @@ class Kernel:
         cond.broadcasts += 1
         waiters, cond.waiters = cond.waiters, []
         for waiter in waiters:
+            if waiter.state is ProcessState.TERMINATED:
+                continue  # killed while parked (fault injection)
             self._wake_cond_waiter(cond, waiter)
         return self._finish_syscall(cpu, process, None, cond.wait_cost)
 
@@ -851,10 +1031,17 @@ class Kernel:
         self._block_current(cpu, "sleep")
         self.engine.schedule(
             max(duration, self.config.sleep_cost),
-            lambda: self._wake(process),
+            partial(self._sleep_wake, process),
             "sleep-wake",
         )
         return False
+
+    def _sleep_wake(self, process: Process) -> None:
+        # The sleeper may have been killed while parked (fault injection);
+        # a sleeping process can only leave BLOCKED through this event or
+        # through kill, so a non-BLOCKED state here means a corpse.
+        if process.state is ProcessState.BLOCKED:
+            self._wake(process)
 
     def _sys_wait_signal(
         self, cpu: int, process: Process, syscall: sc.WaitSignal
@@ -967,14 +1154,21 @@ class Kernel:
             channel.send_waiters.append((process, syscall.message))
             self._block_current(cpu, f"chan-send:{channel.name}")
             return False
-        channel.messages.append(syscall.message)
-        channel.sends += 1
-        if channel.recv_waiters:
-            receiver = channel.recv_waiters.pop(0)
-            receiver.pending_syscall = None
-            receiver.syscall_result = channel.messages.popleft()
-            channel.receives += 1
-            self._wake(receiver)
+        # Fault injection: a filter may drop ([]) or duplicate ([m, m])
+        # the message.  None (the default) is the healthy fast path.
+        if channel.fault_filter is None:
+            deliveries = (syscall.message,)
+        else:
+            deliveries = channel.fault_filter(syscall.message)
+        for message in deliveries:
+            channel.messages.append(message)
+            channel.sends += 1
+            if channel.recv_waiters:
+                receiver = channel.recv_waiters.pop(0)
+                receiver.pending_syscall = None
+                receiver.syscall_result = channel.messages.popleft()
+                channel.receives += 1
+                self._wake(receiver)
         return self._finish_syscall(cpu, process, None, self.config.channel_op_cost)
 
     def _sys_channel_receive(

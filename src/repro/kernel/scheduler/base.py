@@ -69,6 +69,17 @@ class SchedulerPolicy(ABC):
     def on_process_exit(self, process: "Process") -> None:
         """Notification: a process terminated."""
 
+    def on_cpu_offline(self, cpu: int) -> None:
+        """Notification: the kernel took *cpu* out of service (hot-unplug).
+
+        The kernel stops offering the processor to :meth:`dequeue`, so
+        queue-per-machine policies need no action; policies that bind work
+        to specific processors (space partitioning) rebalance here.
+        """
+
+    def on_cpu_online(self, cpu: int) -> None:
+        """Notification: *cpu* rejoined the machine."""
+
     def queued_census(self) -> Optional[Dict[int, int]]:
         """Live run-queue entries per pid, for the sanitizer's cross-checks.
 

@@ -95,12 +95,13 @@ class CoschedulingScheduler(SchedulerPolicy):
         return None
 
     def has_waiting(self, cpu: int) -> bool:
-        # Between epoch ticks a gang keeps its processors: the quantum timer
-        # only switches processes when the runner is *not* in the active
-        # gang (i.e. an alternate-selection filler) and a gang member waits.
-        current = self.kernel.machine.processors[cpu].current
-        if current is not None and self._gang_key(current) == self._active_gang:
-            return False
+        # Between epoch ticks a gang keeps its processors, but READY gang
+        # members still displace runners at quantum expiry -- both
+        # alternate-selection fillers from other gangs and, when the gang
+        # is larger than the machine, the gang's own members (otherwise a
+        # member spinning on a lock could starve the preempted holder
+        # forever on a small machine: within-gang round-robin is what
+        # eventually runs the holder again).
         gang = self._gangs.get(self._active_gang or "")
         return bool(gang) and any(
             p.state is ProcessState.READY for p in gang

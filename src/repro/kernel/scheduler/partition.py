@@ -145,12 +145,20 @@ class SpacePartitionScheduler(SchedulerPolicy):
 
     def _repartition(self) -> None:
         self.repartitions += 1
-        self._partitions = compute_partitions(
-            self.kernel.machine.n_processors,
+        # Partition only the processors that are actually online; positions
+        # returned by the pure policy function map through the online list,
+        # so a hot-unplugged cpu simply vanishes from every group.
+        online = self.kernel.online_cpus()
+        slots = compute_partitions(
+            len(online),
             self._active_apps,
             self._system_process_count,
             app_process_counts=dict(self._app_process_count),
         )
+        self._partitions = {
+            group: [online[index] for index in indices]
+            for group, indices in slots.items()
+        }
         self._cpu_owner = {}
         for group, cpus in self._partitions.items():
             for cpu in cpus:
@@ -194,6 +202,12 @@ class SpacePartitionScheduler(SchedulerPolicy):
                 del self._app_process_count[group]
                 self._active_apps.remove(group)
                 self._repartition()
+
+    def on_cpu_offline(self, cpu: int) -> None:
+        self._repartition()
+
+    def on_cpu_online(self, cpu: int) -> None:
+        self._repartition()
 
     def enqueue(self, process: Process, reason: str) -> None:
         if process.state is not ProcessState.READY:

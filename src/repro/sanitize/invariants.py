@@ -130,10 +130,11 @@ class SchedSanitizer:
         self._next_deep = deep_period
         self._baseline_cs_preemptions = 0
         self._saved: Dict[Tuple[int, str], object] = {}
-        # Server-share watching (armed via watch_server).
+        # Server-share watching (armed via watch_server / watch_packages).
         self._server = None
         self._compliance_window: Optional[int] = None
         self._overrun_since: Dict[str, Tuple[int, int]] = {}
+        self._packages: list = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -174,6 +175,7 @@ class SchedSanitizer:
         self._wrap_kernel("_block_current", self._make_block)
         self._wrap_kernel("_wake", self._make_wake)
         self._wrap_kernel("_exit_current", self._make_exit)
+        self._wrap_kernel("_terminate_off_cpu", self._make_terminate)
         self._attached = True
         return self
 
@@ -203,6 +205,17 @@ class SchedSanitizer:
             raise ValueError("poll_interval must be positive")
         self._server = server
         self._compliance_window = compliance_factor * poll_interval
+
+    def watch_packages(self, packages) -> None:
+        """Tell the share check about the application packages.
+
+        Graceful degradation lets a package *release* a stale target
+        (``control.target is None`` after the TTL) and restore full
+        parallelism while the board still shows the dead server's last
+        word; that is legal, so such applications are exempted from the
+        share-overrun check until they re-adopt a fresh target.
+        """
+        self._packages = list(packages)
 
     def finish(self) -> "SchedSanitizer":
         """End-of-run checks: a final deep pass plus the witnessed
@@ -351,6 +364,12 @@ class SchedSanitizer:
                 self._report(
                     "dispatch-busy-cpu", f"dispatch of {pid} onto busy cpu {cpu}", pid
                 )
+            if not self.kernel.cpu_is_online(cpu):
+                self._report(
+                    "dispatch-offline-cpu",
+                    f"dispatch of {pid} onto offline cpu {cpu}",
+                    pid,
+                )
             elsewhere = self._running.get(pid)
             if elsewhere is not None:
                 self._report(
@@ -484,6 +503,25 @@ class SchedSanitizer:
 
         return _exit_current
 
+    def _make_terminate(self, original):
+        def _terminate_off_cpu(process):
+            self._pre()
+            pid = process.pid
+            if pid in self._running:
+                self._report(
+                    "state-machine",
+                    f"off-cpu termination of process {pid} while tracked as "
+                    f"running on cpu {self._running[pid]}",
+                    pid,
+                )
+            original(process)
+            # Same cleanup as the exit shim: the policy dropped any queue
+            # entry the killed process still had.
+            self._queued.pop(pid, None)
+            self._maybe_deep()
+
+        return _terminate_off_cpu
+
     # ------------------------------------------------------------------
     # Deep (safe-point) checks
     # ------------------------------------------------------------------
@@ -532,6 +570,12 @@ class SchedSanitizer:
             if current is None:
                 continue
             pid = current.pid
+            if not kernel.cpu_is_online(processor.cpu_id):
+                self._report(
+                    "offline-cpu-busy",
+                    f"offline cpu {processor.cpu_id} still runs process {pid}",
+                    pid,
+                )
             if pid in on_cpu:
                 self._report(
                     "state-machine",
@@ -626,7 +670,25 @@ class SchedSanitizer:
         for process in kernel.processes.values():
             if process.controllable and process.runnable and process.app_id:
                 runnable[process.app_id] = runnable.get(process.app_id, 0) + 1
+        # A package is accountable to the target it has actually *adopted*
+        # (``control.target``), not to whatever the board says this instant:
+        # targets only bind once read at a poll, and during a control-plane
+        # outage (dropped polls, crashed server) the package cannot see the
+        # board's newer word at all.  Failure to refresh is policed by the
+        # stale-target TTL, not by this check.  An adopted target of ``None``
+        # means the control released it (TTL expiry) and the application
+        # legitimately runs at full parallelism until the next fresh poll.
+        # Applications without a watched package fall back to the board word.
+        adopted = {
+            package.app_id: package.control.target
+            for package in self._packages
+        }
         for app_id, target in board.targets.items():
+            if app_id in adopted:
+                if adopted[app_id] is None:
+                    self._overrun_since.pop(app_id, None)
+                    continue
+                target = adopted[app_id]
             granted = max(target, 1)
             count = runnable.get(app_id, 0)
             if count <= granted:

@@ -20,19 +20,21 @@ Public API
 - :mod:`repro.sim.units` -- integer-microsecond time helpers.
 """
 
-from repro.sim.engine import Engine, EventHandle, SimulationError
+from repro.sim.engine import Engine, EventHandle, RepeatingEvent, SimulationError
 from repro.sim.rand import RandomStreams
-from repro.sim.trace import TraceLog, TraceRecord
+from repro.sim.trace import TraceLog, TraceRecord, dispatch_digest
 from repro.sim.export import dump_trace, load_trace
 from repro.sim import units
 
 __all__ = [
     "Engine",
     "EventHandle",
+    "RepeatingEvent",
     "SimulationError",
     "RandomStreams",
     "TraceLog",
     "TraceRecord",
+    "dispatch_digest",
     "dump_trace",
     "load_trace",
     "units",

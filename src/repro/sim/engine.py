@@ -84,6 +84,62 @@ class EventHandle:
 _new_handle = EventHandle.__new__
 
 
+class RepeatingEvent:
+    """A self-rearming event minted by :meth:`Engine.schedule_every`.
+
+    Fires *callback* every *period* microseconds until :meth:`cancel` is
+    called or the next firing would land after *until* (absolute time).
+    The recurrence is driven by ordinary calendar entries, so repeated
+    events interleave deterministically with everything else.
+    """
+
+    __slots__ = ("period", "callback", "until", "label", "cancelled", "_engine", "_handle")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        period: int,
+        callback: Callable[[], None],
+        label: str,
+        until: Optional[int],
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"repeating period must be positive, got {period}")
+        self.period = period
+        self.callback = callback
+        self.until = until
+        self.label = label
+        self.cancelled = False
+        self._engine = engine
+        self._handle: Optional[EventHandle] = None
+        self._arm()
+
+    def _arm(self) -> None:
+        next_time = self._engine.now + self.period
+        if self.until is not None and next_time > self.until:
+            self._handle = None
+            return
+        self._handle = self._engine.schedule(self.period, self._fire, self.label)
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.callback()
+        if not self.cancelled:
+            self._arm()
+
+    def cancel(self) -> None:
+        """Stop the recurrence.  Idempotent."""
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def pending(self) -> bool:
+        """True while another firing is scheduled."""
+        return self._handle is not None and self._handle.pending
+
+
 class Engine:
     """A deterministic discrete-event simulation loop.
 
@@ -171,6 +227,23 @@ class Engine:
         _heappush(self._heap, (time, seq, handle))
         self._live += 1
         return handle
+
+    def schedule_every(
+        self,
+        period: int,
+        callback: Callable[[], None],
+        label: str = "",
+        until: Optional[int] = None,
+    ) -> RepeatingEvent:
+        """Schedule *callback* every *period* microseconds, first firing
+        one period from now.
+
+        *until* (absolute time) stops the recurrence: no firing is
+        scheduled past it.  Returns a :class:`RepeatingEvent` whose
+        ``cancel()`` stops the recurrence at any point.  Used by the
+        fault injectors (preemption storms) and available to policies.
+        """
+        return RepeatingEvent(self, period, callback, label, until)
 
     def _note_cancel(self) -> None:
         """A live entry became garbage; compact if garbage dominates."""

@@ -11,6 +11,7 @@ Tracing can be filtered by category to keep long runs cheap.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
@@ -80,3 +81,24 @@ class TraceLog:
     def clear(self) -> None:
         """Drop all records (used between experiment repetitions)."""
         self._records.clear()
+
+
+def dispatch_digest(trace: TraceLog) -> str:
+    """SHA-256 over the run's dispatch sequence.
+
+    Hashes every ``kernel.dispatch`` record as a ``time:pid:cpu`` line, in
+    emission order.  Two runs of the same scenario produce the same digest
+    iff every process landed on the same processor at the same microsecond
+    in the same order -- the bit-identical-replay check the golden-trace
+    regression tests pin (``tests/test_golden_traces.py``).
+
+    The trace must have been collected with the ``kernel.dispatch``
+    category enabled (the runner's default category set excludes it).
+    """
+    hasher = hashlib.sha256()
+    for record in trace:
+        if record.category != "kernel.dispatch":
+            continue
+        data = record.data
+        hasher.update(f"{record.time}:{data['pid']}:{data['cpu']}\n".encode())
+    return hasher.hexdigest()

@@ -21,12 +21,17 @@ class ControlState:
 
     Attributes:
         target: the number of runnable processes the server most recently
-            told this application to use (``None`` until the first poll).
+            told this application to use (``None`` until the first poll,
+            and again after a stale-target expiry released control).
         runnable_workers: workers currently not suspended by control.
         suspended: pids of suspended workers, FIFO ("kept on a queue",
             Section 5).
         last_poll: simulation time of the last server poll.
+        last_fresh: time of the last poll that returned a fresh target.
+        poll_gap: backoff-adjusted effective poll interval (``None`` =
+            use the configured base interval).
         polls / suspensions / resumes: statistics for the reports.
+        failed_polls / target_expiries: degradation statistics.
     """
 
     def __init__(self, n_workers: int) -> None:
@@ -36,9 +41,46 @@ class ControlState:
         self.runnable_workers = n_workers
         self.suspended: Deque[int] = deque()
         self.last_poll: Optional[int] = None
+        self.last_fresh: Optional[int] = None
+        self.poll_gap: Optional[int] = None
+        self.consecutive_failures = 0
+        self.first_failure: Optional[int] = None
         self.polls = 0
         self.suspensions = 0
         self.resumes = 0
+        self.failed_polls = 0
+        self.target_expiries = 0
+
+    def note_fresh(self, target: int, now: int) -> None:
+        """Adopt a fresh server target; any backoff state is reset."""
+        self.target = target
+        self.polls += 1
+        self.last_fresh = now
+        self.poll_gap = None
+        self.consecutive_failures = 0
+        self.first_failure = None
+
+    def note_failure(
+        self, now: int, base_gap: int, max_gap: int, ttl: int
+    ) -> bool:
+        """Record a failed/stale poll: back off (bounded exponential) and
+        check the stale-target TTL.
+
+        Returns ``True`` when the TTL expired on this failure, in which
+        case the target is released (``None``) so the application restores
+        full parallelism rather than running forever at a stale width.
+        """
+        self.failed_polls += 1
+        if self.consecutive_failures == 0:
+            self.first_failure = now
+        self.consecutive_failures += 1
+        self.poll_gap = min(base_gap << self.consecutive_failures, max_gap)
+        anchor = self.last_fresh if self.last_fresh is not None else self.first_failure
+        if self.target is not None and now - anchor >= ttl:
+            self.target = None
+            self.target_expiries += 1
+            return True
+        return False
 
     def should_suspend(self) -> bool:
         """True when this worker ought to park itself at a safe point.
@@ -52,9 +94,17 @@ class ControlState:
         return self.runnable_workers > max(self.target, 1)
 
     def should_resume(self) -> bool:
-        """True when a suspended peer ought to be woken."""
-        if self.target is None or not self.suspended:
+        """True when a suspended peer ought to be woken.
+
+        A released target (``None`` after a stale-target expiry, or before
+        the first poll) means control is not constraining us: if anyone is
+        suspended, wake them -- the degraded mode is full parallelism, not
+        a frozen stale width.
+        """
+        if not self.suspended:
             return False
+        if self.target is None:
+            return True
         return self.runnable_workers < self.target
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -67,6 +67,16 @@ class ThreadsPackageConfig:
             consumer waste of Section 2 point 2.  ``False`` switches to a
             blocking semaphore (a modern package; ablation).
         spin_poll_gap / spin_poll_max_gap: idle-poll backoff bounds.
+        stale_target_ttl: graceful degradation against a silent control
+            server (centralized mode).  When set, a poll whose board entry
+            is missing or older than this many microseconds counts as
+            *failed*: the package backs off its polling exponentially, and
+            once no fresh target has been seen for the TTL it releases the
+            stale target entirely, restoring full parallelism.  ``None``
+            (the default) trusts the board forever -- the paper's
+            healthy-world behaviour, and what hand-driven tests expect.
+        poll_backoff_max: cap on the backed-off poll gap; defaults to
+            8x ``poll_interval`` when degradation is enabled.
     """
 
     control: Optional[str] = CONTROL_OFF
@@ -80,6 +90,8 @@ class ThreadsPackageConfig:
     idle_spin: bool = True
     spin_poll_gap: int = 500
     spin_poll_max_gap: int = field(default_factory=lambda: units.ms(8))
+    stale_target_ttl: Optional[int] = None
+    poll_backoff_max: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.control not in (
@@ -92,6 +104,12 @@ class ThreadsPackageConfig:
             raise ValueError("centralized control requires a ControlBoard")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.stale_target_ttl is not None and self.stale_target_ttl <= 0:
+            raise ValueError("stale_target_ttl must be positive")
+        if self.poll_backoff_max is None:
+            self.poll_backoff_max = 8 * self.poll_interval
+        elif self.poll_backoff_max < self.poll_interval:
+            raise ValueError("poll_backoff_max must be >= poll_interval")
 
 
 class ThreadsPackage:
@@ -311,7 +329,10 @@ class ThreadsPackage:
         if config.control is None or self.finished:
             return
         now = self.kernel.now
-        if control.last_poll is None or now - control.last_poll >= config.poll_interval:
+        gap = control.poll_gap
+        if gap is None:
+            gap = config.poll_interval
+        if control.last_poll is None or now - control.last_poll >= gap:
             control.last_poll = now
             yield from self._poll()
         if control.should_resume():
@@ -346,7 +367,41 @@ class ThreadsPackage:
         control = self.control
         if config.control == CONTROL_CENTRALIZED:
             yield sc.Compute(config.poll_cost)
-            target = config.board.read(self.app_id)
+            board = config.board
+            target = board.read(self.app_id)
+            ttl = config.stale_target_ttl
+            if ttl is not None:
+                now = self.kernel.now
+                stale = (
+                    board.updated_at is not None and now - board.updated_at > ttl
+                )
+                if target is not None and not stale:
+                    control.note_fresh(target, now)
+                    self.kernel.trace.emit(
+                        now, "pc.poll", app_id=self.app_id, target=target
+                    )
+                elif control.target is not None or control.last_fresh is not None:
+                    # The server went silent after having spoken to us:
+                    # back off the polling and, past the TTL, release the
+                    # stale target (should_resume then restores the full
+                    # worker pool).  A server that has not yet published
+                    # anything for us is not a failure -- that is the
+                    # ordinary state right after arrival.
+                    expired = control.note_failure(
+                        now, config.poll_interval, config.poll_backoff_max, ttl
+                    )
+                    self.kernel.trace.emit(
+                        now,
+                        "pc.poll_failed",
+                        app_id=self.app_id,
+                        stale=stale,
+                        failures=control.consecutive_failures,
+                    )
+                    if expired:
+                        self.kernel.trace.emit(
+                            now, "pc.target_expired", app_id=self.app_id
+                        )
+                return
         else:
             # Decentralized: scan the process table and partition locally.
             # This is the design Section 4.2 rejects as "too inefficient";
@@ -363,7 +418,7 @@ class ThreadsPackage:
                 if row.controllable and row.app_id is not None:
                     app_totals[row.app_id] = app_totals.get(row.app_id, 0) + 1
             targets = partition_processors(
-                self.kernel.machine.n_processors, uncontrolled, app_totals
+                self.kernel.online_processor_count(), uncontrolled, app_totals
             )
             target = targets.get(self.app_id)
         if target is not None:

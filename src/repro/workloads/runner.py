@@ -8,11 +8,13 @@ numbers the paper's figures report.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.server import ProcessControlServer
+from repro.faults.plan import FAULTS_ENV_VAR, FaultPlan
 from repro.kernel import Kernel, syscalls as sc
 from repro.machine import Machine
 from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
@@ -33,6 +35,15 @@ RUNNER_TRACE_CATEGORIES = (
     "pc.resume",
     "sanitize.violation",
     "sanitize.lock_holder_preempted",
+    # Fault-tolerance categories (silent on healthy runs).
+    "pc.poll_failed",
+    "pc.target_expired",
+    "server.crash",
+    "server.restart",
+    "kernel.cpu_offline",
+    "kernel.cpu_online",
+    "kernel.cpu_offline_refused",
+    "kernel.kill",
 )
 
 
@@ -58,6 +69,11 @@ class AppResult:
     idle_poll_time: int = 0
     spin_time: int = 0
     preemptions: int = 0
+    #: Polls that found the control board stale or empty while the
+    #: application held a target (nonzero only under fault injection).
+    failed_polls: int = 0
+    #: Times the stale-target TTL released a dead server's target.
+    target_expiries: int = 0
 
 
 @dataclass
@@ -85,6 +101,12 @@ class ScenarioResult:
     #: The sanitizer's full counter map (checks run, per-check violation
     #: counts, witnessed lock-holder preemptions); ``None`` = sanitizer off.
     sanitizer_counters: Optional[Dict[str, int]] = None
+    #: Number of injectors the fault plan installed (0 = healthy run).
+    faults_injected: int = 0
+    #: ``(time, event, data)`` tuples logged by the fault injectors.
+    fault_events: List[Tuple[int, str, Dict[str, Any]]] = field(
+        default_factory=list
+    )
 
     def wall_time(self, app_id: str) -> int:
         """Wall time of one application (convenience accessor)."""
@@ -149,6 +171,7 @@ def run_scenario(
     max_events: int = 50_000_000,
     sanitize: Optional[object] = None,
     engine_loop: str = "fused",
+    faults: Optional[str] = None,
 ) -> ScenarioResult:
     """Run *scenario* to completion and reduce its measurements.
 
@@ -157,7 +180,11 @@ def run_scenario(
     ``"strict"``/``True`` raises on the first violation, ``"record"``
     accumulates violations into the result.  *engine_loop* picks the event
     loop (``"fused"`` or ``"plain"``, see
-    :meth:`~repro.kernel.kernel.Kernel.run_until_quiescent`).
+    :meth:`~repro.kernel.kernel.Kernel.run_until_quiescent`).  *faults*
+    is a fault-plan spec string (see :mod:`repro.faults.plan`); when
+    ``None`` the runner falls back to ``scenario.faults`` and then the
+    ``REPRO_FAULTS`` environment knob.  The plan is seeded from
+    ``scenario.seed``, so the same scenario + spec replays bit-identically.
     """
     if not scenario.apps:
         raise ValueError("scenario has no applications")
@@ -167,6 +194,11 @@ def run_scenario(
         sanitize = "strict"
     elif sanitize is False:
         sanitize = None
+    if faults is None:
+        faults = scenario.faults
+    if faults is None:
+        faults = os.environ.get(FAULTS_ENV_VAR) or None
+    fault_plan = FaultPlan.from_spec(faults, seed=scenario.seed) if faults else None
     engine = Engine()
     machine = Machine(scenario.machine)
     if trace is None:
@@ -201,6 +233,14 @@ def run_scenario(
         if sanitizer is not None:
             sanitizer.watch_server(server, poll_interval=scenario.poll_interval)
 
+    # The stale-target TTL is sized so a healthy server (one post per
+    # interval) can never look stale; only a dead or partitioned one can.
+    stale_target_ttl = scenario.stale_target_ttl
+    if stale_target_ttl is None:
+        stale_target_ttl = max(
+            4 * scenario.poll_interval, 4 * scenario.server_interval
+        )
+
     packages: List[ThreadsPackage] = []
     for index, spec in enumerate(scenario.apps):
         app = spec.factory()
@@ -211,12 +251,20 @@ def run_scenario(
             poll_interval=scenario.poll_interval,
             idle_spin=scenario.idle_spin,
             use_no_preempt_flags=scenario.use_no_preempt_flags,
+            stale_target_ttl=stale_target_ttl,
         )
         package = ThreadsPackage(
             kernel, app, spec.n_processes, config=package_config
         )
         packages.append(package)
         engine.schedule(spec.arrival, package.start, f"arrive-{app.app_id}")
+    if sanitizer is not None:
+        # Applications that legitimately released a stale target (server
+        # dead past the TTL) are exempt from the share-overrun check.
+        sanitizer.watch_packages(packages)
+
+    if fault_plan is not None:
+        fault_plan.install(kernel, server=server, packages=packages)
 
     for spec in scenario.uncontrolled:
         engine.schedule(
@@ -271,6 +319,8 @@ def run_scenario(
             queue_lock_contended=lock.contended_acquisitions,
             queue_lock_holder_preempted=lock.holder_preempted_encounters,
             queue_lock_spin_time=lock.total_spin_time,
+            failed_polls=package.control.failed_polls,
+            target_expiries=package.control.target_expiries,
         )
 
     if active_meter is not None:
@@ -304,4 +354,6 @@ def run_scenario(
         trace=trace,
         sanitizer_violations=len(sanitizer.violations) if sanitizer else 0,
         sanitizer_counters=dict(sanitizer.counters) if sanitizer else None,
+        faults_injected=len(fault_plan.injectors) if fault_plan else 0,
+        fault_events=list(fault_plan.events) if fault_plan else [],
     )

@@ -110,6 +110,13 @@ class Scenario:
             control.
         seed: master random seed.
         max_time: safety cap on simulated time.
+        faults: fault-injection plan spec string (see
+            :mod:`repro.faults`), e.g.
+            ``"server-crash:at=20ms,down=60ms;cpu-offline:cpu=1,at=10ms"``.
+            ``None`` (the default) runs the healthy world; the runner also
+            consults the ``REPRO_FAULTS`` environment knob.
+        stale_target_ttl: override for the threads package's stale-target
+            TTL; ``None`` lets the runner size it from the intervals.
     """
 
     apps: List[AppSpec]
@@ -125,6 +132,8 @@ class Scenario:
     server_partition_aware: bool = False
     seed: int = 0
     max_time: int = field(default_factory=lambda: units.seconds(3600))
+    faults: Optional[str] = None
+    stale_target_ttl: Optional[int] = None
 
     def with_(self, **overrides: Any) -> "Scenario":
         """A copy of this scenario with fields replaced (ablation helper)."""

@@ -90,6 +90,18 @@ class TestServerLoop:
         with pytest.raises(ValueError):
             ProcessControlServer(kernel, interval=0)
 
+    def test_server_rejects_negative_compute_cost(self):
+        kernel = make_kernel()
+        with pytest.raises(ValueError):
+            ProcessControlServer(kernel, interval=units.ms(50), compute_cost=-1)
+
+    def test_server_accepts_zero_compute_cost(self):
+        # Zero is a legitimate ablation value (free scans); only negatives
+        # are nonsense.
+        kernel = make_kernel()
+        server = ProcessControlServer(kernel, interval=units.ms(50), compute_cost=0)
+        assert server.compute_cost == 0
+
     def test_server_cannot_start_twice(self):
         kernel = make_kernel()
         server = ProcessControlServer(kernel, interval=units.ms(50))

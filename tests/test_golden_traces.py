@@ -1,0 +1,86 @@
+"""Golden-trace regression tests: bit-identical replay of key experiments.
+
+Each case runs one experiment scenario (quick preset) with the
+``kernel.dispatch`` trace category enabled and checksums the full
+``(time, pid, cpu)`` dispatch sequence via
+:func:`repro.sim.trace.dispatch_digest`.  The digests -- plus sim_time and
+makespan -- are pinned in ``tests/golden/*.json``: any change to engine,
+kernel, scheduler, threads package, or server that perturbs even one
+dispatch fails here.
+
+With fault injection *disabled* (the default), every one of these runs
+must stay byte-identical to the healthy world the paper experiments
+measure -- that is the acceptance bar for the fault subsystem riding along
+in the same process.
+
+To regenerate after an intentional behaviour change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_traces.py
+
+and commit the diff (review it first: a golden update is a behaviour
+change, not a formality).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figure1 import figure1_scenario
+from repro.experiments.figure4 import figure4_scenario
+from repro.experiments.steady_state import steady_state_scenario
+from repro.sim import TraceLog, dispatch_digest
+from repro.workloads import run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: name -> zero-arg scenario builder (quick preset keeps the suite fast).
+CASES = {
+    "figure1_quick_n8": lambda: figure1_scenario(8, "quick", 0),
+    "figure1_quick_n16": lambda: figure1_scenario(16, "quick", 0),
+    "figure1_quick_n24": lambda: figure1_scenario(24, "quick", 0),
+    "figure4_quick_centralized": lambda: figure4_scenario(
+        "centralized", "quick", 0
+    ),
+    "steady_state_quick_centralized": lambda: steady_state_scenario(
+        "centralized", "quick", 0
+    ),
+}
+
+
+def _measure(name: str) -> dict:
+    trace = TraceLog(categories={"kernel.dispatch"})
+    result = run_scenario(CASES[name](), trace=trace)
+    return {
+        "dispatch_digest": dispatch_digest(trace),
+        "dispatches": len(trace.records("kernel.dispatch")),
+        "sim_time": result.sim_time,
+        "makespan": result.makespan,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_trace(name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    measured = _measure(name)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(measured, indent=2) + "\n")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; generate with "
+        "REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert measured == golden, (
+        f"{name}: dispatch sequence diverged from the committed golden "
+        f"trace (measured {measured}, golden {golden}); if this change is "
+        "intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and commit"
+    )
+
+
+def test_golden_replay_is_deterministic():
+    """Two in-process replays of the same scenario are bit-identical."""
+    first = _measure("figure1_quick_n8")
+    second = _measure("figure1_quick_n8")
+    assert first == second
