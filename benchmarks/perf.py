@@ -75,14 +75,53 @@ def record(names: Optional[Iterable[str]] = None, path: Path = PERF_PATH) -> Dic
     return data
 
 
+def check(names: Optional[Iterable[str]] = None, path: Path = PERF_PATH) -> bool:
+    """Re-measure and compare ``events`` against the committed trajectory.
+
+    The simulator is deterministic, so each experiment's event count is an
+    exact fingerprint of its default behaviour: any drift means a change
+    perturbed the simulated runs (intentionally or not).  Nothing is
+    written.  Returns True when every measured count matches.
+    """
+    if not path.exists():
+        print(f"no committed trajectory at {path}; nothing to check")
+        return False
+    committed = json.loads(path.read_text())
+    selected = list(names) if names is not None else list(EXPERIMENTS)
+    clean = True
+    for name in selected:
+        expected = (committed.get(name) or {}).get("events")
+        if expected is None:
+            print(f"{name:>14}: MISSING from {path.name}")
+            clean = False
+            continue
+        got = measure(name)["events"]
+        if got == expected:
+            print(f"{name:>14}: {got:>9} events  ok")
+        else:
+            print(
+                f"{name:>14}: {got:>9} events  MISMATCH "
+                f"(committed {expected})"
+            )
+            clean = False
+    return clean
+
+
 def main(argv: Optional[Iterable[str]] = None) -> None:
-    names = list(argv if argv is not None else sys.argv[1:]) or None
-    for name in names or []:
+    names = list(argv if argv is not None else sys.argv[1:])
+    checking = "--check" in names
+    if checking:
+        names.remove("--check")
+    for name in names:
         if name not in EXPERIMENTS:
             raise SystemExit(
                 f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
             )
-    data = record(names)
+    if checking:
+        if not check(names or None):
+            raise SystemExit("event counts drifted from BENCH_perf.json")
+        return
+    data = record(names or None)
     for name, entry in sorted(data.items()):
         print(
             f"{name:>14}: {entry['wall_s']:8.3f}s  "

@@ -1,0 +1,236 @@
+"""Pluggable allocation policies: the server's decision rule, behind a
+typed protocol.
+
+The paper's Section 5 server bakes in one rule -- water-filled
+equipartition.  This module splits that *policy* from the server's
+*mechanism* (scanning the table, posting targets) the same way
+``repro.workloads.schedulers`` splits kernel policies from the kernel:
+a small protocol class, concrete instances, and a ``make_policy`` registry
+mirroring ``make_scheduler``.
+
+Policies:
+
+* :class:`EquipartitionPolicy` (``"equal"``) -- the paper's rule verbatim:
+  subtract uncontrollable load, water-fill the rest equally, cap at each
+  application's process count, guarantee one.
+* :class:`WeightedPolicy` (``"weighted"``) -- the paper's "given that all
+  three have the same priority" aside, generalized: water-filling under
+  relative priority shares.
+* :class:`DemandPolicy` (``"demand"``) -- demand-aware feedback in the
+  spirit of Dice & Kogan's concurrency restriction: each application's
+  target is additionally capped at its *measured* task-queue backlog
+  (reported by the threads package at registration and every poll), and
+  the slack an idle-wide application cannot use water-fills to the
+  applications that can.
+* :class:`SpaceAwarePolicy` -- the Section 7 integration: when the kernel
+  runs the ``partition`` space scheduler, each application's target is the
+  size of its processor group, so a controlled application is not starved
+  by greedy uncontrolled load the partition already isolates.  Not
+  constructible by bare name (it needs the live scheduler instance).
+
+All policies are pure: ``allocate`` maps an :class:`AllocationRequest`
+snapshot to per-application targets and keeps no state between rounds, so
+one instance may serve several sharded servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.core.policy import partition_processors
+
+#: Environment knob consulted by ``run_scenario`` when the scenario leaves
+#: ``policy`` unset (the experiments CLI sets it from ``--policy``).
+POLICY_ENV_VAR = "REPRO_POLICY"
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One round's input snapshot, as the server sees it.
+
+    Attributes:
+        n_processors: processors this server is responsible for (the whole
+            machine, or one shard's region).
+        uncontrolled_runnable: runnable processes of uncontrollable
+            applications charged against this server's pool.
+        app_totals: total (alive) process count per controllable
+            application -- the hard cap on what each can use.
+        demands: last task-queue backlog each application reported
+            (queued + in-execution tasks); applications that never
+            reported are absent, meaning "demand unknown".
+    """
+
+    n_processors: int
+    uncontrolled_runnable: int
+    app_totals: Mapping[str, int]
+    demands: Mapping[str, int] = field(default_factory=dict)
+
+
+class AllocationPolicy:
+    """Protocol for the server's partitioning rule.
+
+    Implementations provide :meth:`allocate`; everything else (scan
+    cadence, board posting, sharding) is the server's mechanism.  The
+    contract mirrors :func:`~repro.core.policy.partition_processors`:
+    every application in ``request.app_totals`` appears in the result with
+    ``1 <= target <= total``.
+    """
+
+    #: Registry name (``make_policy(name)``); also used in reports.
+    name: str = "policy"
+
+    def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        """Map one snapshot to per-application runnable-process targets."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable label for experiment reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()!r}>"
+
+
+class EquipartitionPolicy(AllocationPolicy):
+    """The paper's Section 5 rule: equal shares, water-filled."""
+
+    name = "equal"
+
+    def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        return partition_processors(
+            request.n_processors,
+            request.uncontrolled_runnable,
+            request.app_totals,
+        )
+
+
+class WeightedPolicy(AllocationPolicy):
+    """Water-filling under relative priority shares.
+
+    ``weights`` is a global priority table; applications it does not name
+    default to weight 1.0, and entries naming applications that are not
+    currently running are ignored (the raw ``partition_processors``
+    function, by contrast, rejects unknown names -- the server knowingly
+    holds weights for applications that come and go).
+    """
+
+    name = "weighted"
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None) -> None:
+        self.weights: Dict[str, float] = dict(weights) if weights else {}
+
+    def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        known = {
+            app_id: weight
+            for app_id, weight in self.weights.items()
+            if app_id in request.app_totals
+        }
+        return partition_processors(
+            request.n_processors,
+            request.uncontrolled_runnable,
+            request.app_totals,
+            weights=known or None,
+        )
+
+    def describe(self) -> str:
+        if not self.weights:
+            return self.name
+        shares = ",".join(
+            f"{app}={weight:g}" for app, weight in sorted(self.weights.items())
+        )
+        return f"{self.name}({shares})"
+
+
+class DemandPolicy(AllocationPolicy):
+    """Demand-aware water-filling: never grant beyond measured backlog.
+
+    An application whose task queue holds fewer tasks than it has worker
+    processes cannot use its full equipartition share -- the extra workers
+    would only busy-wait on the empty queue (the Section 2 point-2 waste).
+    This policy caps each application's effective process count at its
+    reported backlog (floored at one, the starvation guarantee), then
+    water-fills, so the released slack flows to applications whose backlog
+    can absorb it.  Applications that never reported keep their full cap:
+    unknown demand is treated as unbounded, which degrades to
+    equipartition and is exactly the pre-feedback behaviour.
+    """
+
+    name = "demand"
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None) -> None:
+        self.weights: Dict[str, float] = dict(weights) if weights else {}
+
+    def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        caps: Dict[str, int] = {}
+        for app_id, total in request.app_totals.items():
+            demand = request.demands.get(app_id)
+            if demand is None:
+                caps[app_id] = total
+            else:
+                caps[app_id] = max(1, min(total, demand))
+        known = {
+            app_id: weight
+            for app_id, weight in self.weights.items()
+            if app_id in caps
+        }
+        return partition_processors(
+            request.n_processors,
+            request.uncontrolled_runnable,
+            caps,
+            weights=known or None,
+        )
+
+
+class SpaceAwarePolicy(AllocationPolicy):
+    """Targets from the space partition's processor groups (Section 7).
+
+    Wraps a scheduler exposing ``partition_of(app_id) -> [cpu, ...]``
+    (:class:`~repro.kernel.scheduler.partition.SpacePartitionScheduler`):
+    each application's target is the size of its group, capped by its
+    process count and floored at one.  This replaces the untyped
+    ``partition_policy`` escape hatch the server used to carry.
+    """
+
+    name = "space"
+
+    def __init__(self, scheduler) -> None:
+        if not hasattr(scheduler, "partition_of"):
+            raise TypeError(
+                "SpaceAwarePolicy needs a scheduler with partition_of(), "
+                f"got {type(scheduler).__name__}"
+            )
+        self.scheduler = scheduler
+
+    def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        return {
+            app_id: max(1, min(total, len(self.scheduler.partition_of(app_id))))
+            for app_id, total in request.app_totals.items()
+        }
+
+
+_FACTORIES: Dict[str, Callable[..., AllocationPolicy]] = {
+    "equal": EquipartitionPolicy,
+    "weighted": WeightedPolicy,
+    "demand": DemandPolicy,
+}
+
+#: Names accepted by :func:`make_policy` / ``Scenario.policy`` / ``--policy``
+#: (``"space"`` is additionally accepted by the scenario runner, which owns
+#: the live partition scheduler the policy must wrap).
+POLICY_NAMES = tuple(sorted(_FACTORIES))
+
+
+def make_policy(name: str, **kwargs) -> AllocationPolicy:
+    """Build a fresh allocation policy by name (mirrors ``make_scheduler``).
+
+    ``kwargs`` are forwarded to the policy constructor (e.g.
+    ``make_policy("weighted", weights={"a": 2.0})``).
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown allocation policy {name!r}; valid names: "
+            f"{', '.join(POLICY_NAMES)}"
+        )
+    return factory(**kwargs)

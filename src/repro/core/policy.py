@@ -38,7 +38,9 @@ def partition_processors(
             application -- the cap on what each can use.
         weights: optional relative priorities; equal weights reproduce the
             paper's policy ("given that all three have the same priority,
-            each of them gets two processors").
+            each of them gets two processors").  Every key must name an
+            application in *app_totals* (unknown names raise
+            ``ValueError``); applications without a weight default to 1.0.
 
     Returns:
         target runnable-process count per application; every application
@@ -51,6 +53,16 @@ def partition_processors(
     for app_id, total in app_totals.items():
         if total < 1:
             raise ValueError(f"application {app_id!r} has no processes")
+    if weights is not None:
+        unknown = sorted(set(weights) - set(app_totals))
+        if unknown:
+            # A weight naming no application is a caller bug (a typo'd app
+            # id would otherwise silently fall back to equal shares).
+            # Callers with long-lived priority tables filter first -- see
+            # repro.core.allocation.WeightedPolicy.
+            raise ValueError(
+                f"weights name unknown application(s): {', '.join(map(repr, unknown))}"
+            )
     if not app_totals:
         return {}
 

@@ -1,25 +1,38 @@
-"""The centralized process-control server (Section 5).
+"""The process-control server (Section 5), shardable.
 
 A user-level daemon process that, every ``interval`` (6 seconds in the
 paper), scans the kernel's process table, determines the runnable load of
-uncontrollable applications, partitions the remaining processors fairly
-among the controllable applications, and publishes the per-application
-targets on a :class:`~repro.kernel.ipc.ControlBoard`.  Applications poll
-the board (through their threads package) and suspend or resume their own
-worker processes to match.
+uncontrollable applications, asks its :class:`~repro.core.allocation.
+AllocationPolicy` to partition the remaining processors among the
+controllable applications, and publishes the per-application targets on a
+:class:`~repro.kernel.ipc.ControlBoard`.  Applications poll the board
+(through their threads package) and suspend or resume their own worker
+processes to match; the same polls piggyback each application's task-queue
+backlog back onto the board, which demand-aware policies consume.
 
 Applications announce themselves by sending a registration message with
-their root pid on the server's channel; the server keeps a registry (used
-for reporting and for the paper's parent-pid bookkeeping) but derives its
-load information from the process table each round, so it also notices
-applications that vanish without deregistering.
+their root pid (and initial backlog) on the server's channel; the server
+keeps a registry (used for reporting and for the paper's parent-pid
+bookkeeping) but derives its load information from the process table each
+round, so it also notices applications that vanish without deregistering.
+
+A server normally owns the whole machine.  Under a
+:class:`~repro.core.plane.ControlPlane` it is *bound to a shard*: it then
+considers only the applications the plane routes to it, against the
+processor region and uncontrolled-load share the plane assigns it -- the
+mechanism by which the paper's centralized bottleneck scales out.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.policy import partition_processors
+from repro.core.allocation import (
+    AllocationPolicy,
+    AllocationRequest,
+    EquipartitionPolicy,
+    WeightedPolicy,
+)
 from repro.kernel import Kernel
 from repro.kernel import syscalls as sc
 from repro.kernel.ipc import Channel, ControlBoard
@@ -28,11 +41,22 @@ from repro.sim import units
 
 
 class ProcessControlServer:
-    """The centralized server of the paper's scheme.
+    """One process-control server (the whole machine, or one shard).
 
     Create it, then call :meth:`start` to spawn the server process.  Pass
     :attr:`board` (and optionally :attr:`channel`) to each application's
     :class:`~repro.threads.package.ThreadsPackageConfig`.
+
+    Args:
+        kernel: the simulated kernel to scan and spawn on.
+        interval: update period (paper: 6 s); must be positive.
+        compute_cost: CPU cost of one partitioning decision (>= 0).
+        weights: shorthand for ``policy=WeightedPolicy(weights)``;
+            mutually exclusive with *policy*.
+        name: process name (and registration-channel prefix).
+        policy: the :class:`~repro.core.allocation.AllocationPolicy`
+            deciding each round's targets; defaults to the paper's
+            :class:`~repro.core.allocation.EquipartitionPolicy`.
     """
 
     def __init__(
@@ -42,7 +66,7 @@ class ProcessControlServer:
         compute_cost: int = 500,
         weights: Optional[Mapping[str, float]] = None,
         name: str = "pc-server",
-        partition_policy: Optional[object] = None,
+        policy: Optional[AllocationPolicy] = None,
     ) -> None:
         self.kernel = kernel
         self.interval = interval if interval is not None else units.seconds(6)
@@ -50,16 +74,17 @@ class ProcessControlServer:
             raise ValueError("server interval must be positive")
         if compute_cost < 0:
             raise ValueError("server compute_cost must be >= 0")
+        if policy is not None and weights:
+            raise ValueError(
+                "pass weights via WeightedPolicy(weights), not alongside "
+                "an explicit policy"
+            )
         self.compute_cost = compute_cost
-        self.weights = dict(weights) if weights else None
         self.name = name
-        #: Section 7 integration: when set to the machine's
-        #: :class:`~repro.kernel.scheduler.partition.SpacePartitionScheduler`,
-        #: each application's target is the size of its processor group
-        #: rather than a flat machine-wide division, so a controlled
-        #: application is not starved by greedy uncontrolled load that the
-        #: partition already isolates.
-        self.partition_policy = partition_policy
+        if policy is None:
+            policy = WeightedPolicy(weights) if weights else EquipartitionPolicy()
+        #: The allocation rule this server applies each round.
+        self.policy: AllocationPolicy = policy
         self.board = ControlBoard()
         self.channel = Channel(f"{name}.register")
         self.pid: Optional[int] = None
@@ -73,6 +98,46 @@ class ProcessControlServer:
         self.interval_jitter = None
         self.crashes = 0
         self.restarts = 0
+        # Shard binding (None = this server owns the whole machine).
+        self._plane: Optional[Any] = None
+        self._shard_index: int = 0
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+
+    def bind_shard(self, plane: Any, index: int) -> None:
+        """Attach this server to *plane* as shard *index*.
+
+        A bound server partitions only the plane's processor region for
+        this shard, among the applications the plane routes here, and
+        excludes every sibling server from the uncontrolled load.
+        """
+        self._plane = plane
+        self._shard_index = index
+
+    @property
+    def shard_index(self) -> int:
+        """This server's shard number (0 for an unbound server)."""
+        return self._shard_index
+
+    @property
+    def boards(self) -> List[ControlBoard]:
+        """Uniform multi-shard surface (fault injectors iterate this)."""
+        return [self.board]
+
+    @property
+    def channels(self) -> List[Channel]:
+        """Uniform multi-shard surface (fault injectors iterate this)."""
+        return [self.channel]
+
+    def published_targets(self) -> Dict[str, int]:
+        """The targets currently in force (what the sanitizer audits)."""
+        return dict(self.board.targets)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
 
     def start(self) -> Process:
         """Spawn the server process (daemon: it never exits by itself)."""
@@ -127,6 +192,10 @@ class ProcessControlServer:
         )
         return process
 
+    # ------------------------------------------------------------------
+    # The partitioning round
+    # ------------------------------------------------------------------
+
     def compute_targets(
         self, table: List[sc.Syscall], now: int
     ) -> Dict[str, int]:
@@ -135,35 +204,44 @@ class ProcessControlServer:
         Split out of the server loop so tests can drive it directly with a
         synthetic table.
         """
+        plane = self._plane
+        if plane is not None:
+            # Sibling shard servers are system daemons too; none of them
+            # is load the applications should be charged for.
+            own_pids = plane.server_pids()
+        else:
+            own_pids = {self.pid}
         uncontrolled = sum(
             1
             for row in table
-            if row.runnable and not row.controllable and row.pid != self.pid
+            if row.runnable and not row.controllable and row.pid not in own_pids
         )
         app_totals: Dict[str, int] = {}
         for row in table:
             if row.controllable and row.app_id is not None:
                 app_totals[row.app_id] = app_totals.get(row.app_id, 0) + 1
-        if self.partition_policy is not None:
-            # Section 7: the policy module has already assigned each
-            # application a processor group; target = group size (capped
-            # by the application's process count, at least one).
-            return {
-                app_id: max(
-                    1,
-                    min(total, len(self.partition_policy.partition_of(app_id))),
-                )
+        if plane is not None:
+            index = self._shard_index
+            app_totals = {
+                app_id: total
                 for app_id, total in app_totals.items()
+                if plane.shard_of(app_id) == index
             }
-        return partition_processors(
+            capacity = plane.shard_capacity(index)
+            uncontrolled = plane.shard_uncontrolled(index, uncontrolled)
+        else:
             # Only the processors that are actually in service: the
             # water-filling policy's >=1-per-application floor then keeps
             # every application alive even under CPU loss (the starvation
             # floor holds because it is computed against real capacity).
-            self.kernel.online_processor_count(),
-            uncontrolled,
-            app_totals,
-            self.weights,
+            capacity = self.kernel.online_processor_count()
+        return self.policy.allocate(
+            AllocationRequest(
+                n_processors=capacity,
+                uncontrolled_runnable=uncontrolled,
+                app_totals=app_totals,
+                demands=self.board.demand_snapshot(),
+            )
         )
 
     def _program(self):
@@ -173,9 +251,14 @@ class ProcessControlServer:
             # each actual receive is charged normally.
             while len(self.channel):
                 message = yield sc.ChannelReceive(self.channel)
-                kind, app_id, root_pid = message
+                # Legacy senders omit the trailing backlog field.
+                kind, app_id, root_pid, *extra = message
                 if kind == "register":
                     self.registered[app_id] = root_pid
+                    if extra:
+                        self.board.report_demand(
+                            app_id, extra[0], self.kernel.now
+                        )
                     self.kernel.trace.emit(
                         self.kernel.now,
                         "server.register",

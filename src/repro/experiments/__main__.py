@@ -11,6 +11,8 @@ from __future__ import annotations
 import argparse
 import os
 
+from repro.core.allocation import POLICY_ENV_VAR, POLICY_NAMES
+from repro.core.plane import SHARDS_ENV_VAR
 from repro.experiments.parallel import JOBS_ENV_VAR
 from repro.faults.campaign import main as chaos_main
 from repro.faults.plan import FAULTS_ENV_VAR
@@ -24,6 +26,7 @@ from repro.experiments import (
     figure4,
     figure5,
     mechanisms,
+    policies,
     steady_state,
 )
 
@@ -36,6 +39,7 @@ _EXPERIMENTS = {
     "claims": claims.main,
     "ablations": ablations.main,
     "mechanisms": mechanisms.main,
+    "policies": policies.main,
     "steady-state": steady_state.main,
     "chaos": chaos_main,
 }
@@ -84,6 +88,23 @@ def main() -> None:
         "'cpu-offline:cpu=1,at=10ms;server-crash:at=20ms,down=60ms' "
         "(see docs/FAULTS.md; equivalent to setting $REPRO_FAULTS)",
     )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        choices=sorted(POLICY_NAMES) + ["space"],
+        help="allocation policy the control server runs in every scenario "
+        "that does not pin one itself (equivalent to setting "
+        "$REPRO_POLICY; 'space' requires the partition scheduler)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-control server shards in every scenario that does "
+        "not pin a count itself (equivalent to setting $REPRO_SHARDS; "
+        "default 1 = the paper's single server)",
+    )
     args = parser.parse_args()
     if args.jobs is not None:
         # The sweep runners consult REPRO_JOBS; routing the flag through
@@ -96,6 +117,14 @@ def main() -> None:
         os.environ[SANITIZE_ENV_VAR] = args.sanitize
     if args.faults is not None:
         os.environ[FAULTS_ENV_VAR] = args.faults
+    if args.policy is not None:
+        # Same env routing as --jobs: run_scenario resolves the policy for
+        # every scenario that leaves Scenario.policy unset.
+        os.environ[POLICY_ENV_VAR] = args.policy
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
+        os.environ[SHARDS_ENV_VAR] = str(args.shards)
     if args.experiment == "all":
         for name in sorted(_EXPERIMENTS):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

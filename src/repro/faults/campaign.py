@@ -61,13 +61,18 @@ DEFAULT_MAX_INFLATION = 10.0
 
 
 def chaos_scenario(
-    scheduler: str, seed: int, faults: Optional[str] = None
+    scheduler: str,
+    seed: int,
+    faults: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Scenario:
     """The campaign's workload: two controlled apps oversubscribing 8 CPUs.
 
     Small on purpose (a cell takes well under a second of host time) but
     structurally complete: centralized control, a poll/server interval the
     faults can race with, and enough oversubscription that targets bind.
+    *shards* sizes the control plane (``None`` = the runner's default,
+    which also honours ``REPRO_SHARDS``).
     """
     machine = MachineConfig(
         n_processors=8,
@@ -110,6 +115,7 @@ def chaos_scenario(
         seed=seed,
         max_time=units.seconds(5),
         faults=faults,
+        shards=shards,
     )
 
 
@@ -134,8 +140,8 @@ class ChaosCell:
 
 def _chaos_cell(args) -> ChaosCell:
     """Sweep cell (module-level so it pickles for the process pool)."""
-    injector, spec, scheduler, seed, sanitize = args
-    scenario = chaos_scenario(scheduler, seed)
+    injector, spec, scheduler, seed, sanitize, shards = args
+    scenario = chaos_scenario(scheduler, seed, shards=shards)
     # faults="" (not None) so a stray REPRO_FAULTS cannot infect baselines.
     result = run_scenario(scenario, sanitize=sanitize, faults=spec or "")
     completed = all(
@@ -251,11 +257,14 @@ def run_campaign(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     sanitize: Optional[str] = None,
     jobs: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> ChaosReport:
     """Run the full sweep: baselines + every injector plan per cell.
 
     *sanitize* defaults to the ``REPRO_SANITIZE`` environment knob, or
     ``"record"`` when unset, so the campaign always runs checked.
+    *shards* sizes every cell's control plane (``None`` = runner default,
+    honouring ``REPRO_SHARDS``); the fault plans then hit every shard.
     """
     if injectors is None:
         injectors = dict(DEFAULT_INJECTORS)
@@ -267,9 +276,9 @@ def run_campaign(
     cells_args = []
     for scheduler in schedulers:
         for seed in seeds:
-            cells_args.append(("baseline", "", scheduler, seed, sanitize))
+            cells_args.append(("baseline", "", scheduler, seed, sanitize, shards))
             for name, spec in injectors.items():
-                cells_args.append((name, spec, scheduler, seed, sanitize))
+                cells_args.append((name, spec, scheduler, seed, sanitize, shards))
     cells: List[ChaosCell] = parallel_map(_chaos_cell, cells_args, jobs)
 
     baselines: Dict[Tuple[str, int], int] = {

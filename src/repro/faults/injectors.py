@@ -211,13 +211,14 @@ class PollFault(FaultInjector):
                 "fault-poll",
             )
             return
-        board = ctx.server.board
+        # A sharded control plane exposes one board per shard; shim every
+        # one so no shard escapes the fault window.
+        boards = list(getattr(ctx.server, "boards", None) or [ctx.server.board])
         engine = ctx.kernel.engine
         rng = ctx.rng.get(f"{self._spec_kind}:{self.at}")
         dropped = [0]
 
-        def start() -> None:
-            ctx.log(f"poll_{self.mode}_start")
+        def shim_board(board) -> None:
             if self.mode == "drop":
                 original_read = board.read
 
@@ -228,7 +229,7 @@ class PollFault(FaultInjector):
                     return original_read(app_id)
 
                 board.read = faulty_read
-                restores.append(("read", faulty_read, original_read))
+                restores.append((board, "read", faulty_read, original_read))
             elif self.mode == "delay":
                 original_post = board.post
 
@@ -240,7 +241,7 @@ class PollFault(FaultInjector):
                     )
 
                 board.post = faulty_post
-                restores.append(("post", faulty_post, original_post))
+                restores.append((board, "post", faulty_post, original_post))
             else:  # dup: serve the previous post's targets
                 original_read = board.read
                 original_post = board.post
@@ -255,13 +256,18 @@ class PollFault(FaultInjector):
 
                 board.post = dup_post
                 board.read = dup_read
-                restores.append(("post", dup_post, original_post))
-                restores.append(("read", dup_read, original_read))
+                restores.append((board, "post", dup_post, original_post))
+                restores.append((board, "read", dup_read, original_read))
 
-        restores: List[Tuple[str, Callable, Callable]] = []
+        def start() -> None:
+            ctx.log(f"poll_{self.mode}_start")
+            for board in boards:
+                shim_board(board)
+
+        restores: List[Tuple[Any, str, Callable, Callable]] = []
 
         def stop() -> None:
-            for name, shim, original in restores:
+            for board, name, shim, original in restores:
                 # Only unwind our own shim; a chained inner shim keeps
                 # wrapping (and will restore through us when it ends).
                 if getattr(board, name, None) is shim:
@@ -311,7 +317,10 @@ class ChannelFault(FaultInjector):
                 "fault-chan",
             )
             return
-        channel = ctx.server.channel
+        # Cover every shard's registration channel.
+        channels = list(
+            getattr(ctx.server, "channels", None) or [ctx.server.channel]
+        )
         engine = ctx.kernel.engine
         rng = ctx.rng.get(f"{self._spec_kind}:{self.at}")
         affected = [0]
@@ -323,12 +332,14 @@ class ChannelFault(FaultInjector):
             return [message]
 
         def start() -> None:
-            channel.fault_filter = fault_filter
+            for channel in channels:
+                channel.fault_filter = fault_filter
             ctx.log(f"chan_{self.mode}_start")
 
         def stop() -> None:
-            if channel.fault_filter is fault_filter:
-                channel.fault_filter = None
+            for channel in channels:
+                if channel.fault_filter is fault_filter:
+                    channel.fault_filter = None
             ctx.log(f"chan_{self.mode}_end", affected=affected[0])
 
         engine.schedule_at(self.at, start, "fault-chan-start")

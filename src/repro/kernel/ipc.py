@@ -82,12 +82,23 @@ class ControlBoard:
     safe suspension points, at most once per poll interval.  ``version``
     increments on every server update so readers (and tests) can tell stale
     data from fresh.
+
+    The board also carries the *reverse* channel of the demand-aware
+    policies: applications piggyback their task-queue backlog on each poll
+    (and on registration) via :meth:`report_demand` -- another free
+    shared-memory write on the simulated machine -- and the server's
+    :class:`~repro.core.allocation.DemandPolicy` reads the accumulated
+    snapshot when partitioning.
     """
 
     def __init__(self) -> None:
         self.targets: Dict[str, int] = {}
         self.version = 0
         self.updated_at: Optional[int] = None
+        #: Last backlog each application reported (queued + in-execution
+        #: tasks), and when; consumed by demand-aware allocation policies.
+        self.demands: Dict[str, int] = {}
+        self.demand_reported_at: Dict[str, int] = {}
 
     def post(self, targets: Dict[str, int], now: int) -> None:
         """Publish a new target map (server side)."""
@@ -108,6 +119,19 @@ class ControlBoard:
         count alone.
         """
         return self.targets.get(app_id)
+
+    def report_demand(self, app_id: str, backlog: int, now: int) -> None:
+        """Record *app_id*'s task-queue backlog (application side)."""
+        if backlog < 0:
+            raise ValueError(
+                f"negative backlog {backlog} for application {app_id!r}"
+            )
+        self.demands[app_id] = backlog
+        self.demand_reported_at[app_id] = now
+
+    def demand_snapshot(self) -> Dict[str, int]:
+        """The reported backlogs (server side; absent = never reported)."""
+        return dict(self.demands)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ControlBoard v{self.version} {self.targets}>"

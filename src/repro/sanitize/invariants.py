@@ -661,8 +661,16 @@ class SchedSanitizer:
             )
 
     def _check_server_share(self) -> None:
-        board = self._server.board
-        if not board.targets:
+        # Ask the watched server (or control plane) what the active policy
+        # has actually published -- with sharded servers this merges every
+        # shard's board, with each application judged by its own shard's
+        # word.  Bare boards (hand-built test rigs) are read directly.
+        published = getattr(self._server, "published_targets", None)
+        if published is not None:
+            targets_map = published()
+        else:
+            targets_map = self._server.board.targets
+        if not targets_map:
             return
         kernel = self.kernel
         now = kernel.engine.now
@@ -683,7 +691,7 @@ class SchedSanitizer:
             package.app_id: package.control.target
             for package in self._packages
         }
-        for app_id, target in board.targets.items():
+        for app_id, target in targets_map.items():
             if app_id in adopted:
                 if adopted[app_id] is None:
                     self._overrun_since.pop(app_id, None)

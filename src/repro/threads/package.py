@@ -183,15 +183,18 @@ class ThreadsPackage:
     def _worker_program(self, index: int):
         config = self.config
         if index == 0:
-            if config.server_channel is not None and config.control is not None:
-                yield sc.ChannelSend(
-                    config.server_channel,
-                    ("register", self.app_id, self.worker_pids[0]),
-                )
             initial = list(self.app.initial_tasks())
             if not initial:
                 raise ValueError(
                     f"application {self.app_id!r} produced no initial tasks"
+                )
+            if config.server_channel is not None and config.control is not None:
+                # The initial backlog rides on the registration message so
+                # demand-aware policies see a demand figure before the
+                # application's first poll.
+                yield sc.ChannelSend(
+                    config.server_channel,
+                    ("register", self.app_id, self.worker_pids[0], len(initial)),
                 )
             yield from self._enqueue_tasks(initial)
         backoff = config.spin_poll_gap
@@ -368,6 +371,9 @@ class ThreadsPackage:
         if config.control == CONTROL_CENTRALIZED:
             yield sc.Compute(config.poll_cost)
             board = config.board
+            # Piggyback our task-queue backlog on the poll: a free
+            # shared-memory write that demand-aware policies consume.
+            board.report_demand(self.app_id, self._outstanding, self.kernel.now)
             target = board.read(self.app_id)
             ttl = config.stale_target_ttl
             if ttl is not None:

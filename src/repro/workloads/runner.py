@@ -13,7 +13,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.core.server import ProcessControlServer
+from repro.core.allocation import (
+    POLICY_ENV_VAR,
+    AllocationPolicy,
+    SpaceAwarePolicy,
+    make_policy,
+)
+from repro.core.plane import SHARDS_ENV_VAR, ControlPlane
 from repro.faults.plan import FAULTS_ENV_VAR, FaultPlan
 from repro.kernel import Kernel, syscalls as sc
 from repro.machine import Machine
@@ -149,6 +155,38 @@ def metered() -> Iterator[EventMeter]:
         active_meter = previous
 
 
+def _resolve_policy(scenario: Scenario, kernel: Kernel) -> Optional[AllocationPolicy]:
+    """The allocation policy a scenario's control plane should run.
+
+    Resolution order: explicit ``scenario.policy``, then the
+    ``REPRO_POLICY`` environment knob, then the legacy
+    ``server_partition_aware`` flag, then ``None`` (the server's default
+    equipartition -- kept as ``None`` so the default path constructs the
+    exact same objects as before this layer existed).
+    """
+    name = scenario.policy
+    if name is None:
+        name = os.environ.get(POLICY_ENV_VAR) or None
+    if (
+        name is None
+        and scenario.server_partition_aware
+        and scenario.scheduler == "partition"
+    ):
+        # The legacy flag is advisory: it only engages under the partition
+        # scheduler (an explicit policy="space" elsewhere raises instead).
+        name = "space"
+    if name is None:
+        return None
+    if name == "space":
+        if scenario.scheduler != "partition":
+            raise ValueError(
+                'policy "space" requires scheduler="partition" '
+                f"(got {scenario.scheduler!r})"
+            )
+        return SpaceAwarePolicy(kernel.policy)
+    return make_policy(name)
+
+
 def _standalone_program(duration: int, quantum_hint: int):
     """A CPU-bound stand-alone process (one long compute, chunked so its
     compute syscalls do not dwarf the trace granularity)."""
@@ -217,17 +255,17 @@ def run_scenario(
         sanitizer = SchedSanitizer(kernel, mode=sanitize).attach()
 
     app_controls = [spec.control_mode(scenario.control) for spec in scenario.apps]
-    server: Optional[ProcessControlServer] = None
+    server: Optional[ControlPlane] = None
     if "centralized" in app_controls:
-        partition_policy = (
-            kernel.policy
-            if scenario.server_partition_aware and scenario.scheduler == "partition"
-            else None
-        )
-        server = ProcessControlServer(
+        policy = _resolve_policy(scenario, kernel)
+        shards = scenario.shards
+        if shards is None:
+            shards = int(os.environ.get(SHARDS_ENV_VAR) or 1)
+        server = ControlPlane(
             kernel,
+            shards=shards,
             interval=scenario.server_interval,
-            partition_policy=partition_policy,
+            policy=policy,
         )
         server.start()
         if sanitizer is not None:
@@ -244,10 +282,13 @@ def run_scenario(
     packages: List[ThreadsPackage] = []
     for index, spec in enumerate(scenario.apps):
         app = spec.factory()
+        # Only centralized applications are routed to a shard; other
+        # control modes never poll, so they must not consume shard slots.
+        routed = server is not None and app_controls[index] == "centralized"
         package_config = ThreadsPackageConfig(
             control=app_controls[index],
-            board=server.board if server is not None else None,
-            server_channel=server.channel if server is not None else None,
+            board=server.board_for(app.app_id) if routed else None,
+            server_channel=server.channel_for(app.app_id) if routed else None,
             poll_interval=scenario.poll_interval,
             idle_spin=scenario.idle_spin,
             use_no_preempt_flags=scenario.use_no_preempt_flags,

@@ -107,7 +107,17 @@ class Scenario:
             server derives each application's target from its processor
             group's size instead of the flat machine-wide division -- the
             Section 7 integration of the policy module with process
-            control.
+            control.  (Shorthand for ``policy="space"``.)
+        policy: allocation-policy name the control server should run
+            (see :data:`repro.core.allocation.POLICY_NAMES`, plus
+            ``"space"`` which wraps the live partition scheduler and
+            requires ``scheduler="partition"``).  ``None`` (the default)
+            falls back to the ``REPRO_POLICY`` environment knob and then
+            the paper's equipartition.
+        shards: process-control server count; each shard owns a processor
+            region and the applications routed to it (round-robin by
+            arrival).  ``None`` falls back to ``REPRO_SHARDS`` and then 1
+            (the paper's single server, bit-identical).
         seed: master random seed.
         max_time: safety cap on simulated time.
         faults: fault-injection plan spec string (see
@@ -130,6 +140,8 @@ class Scenario:
     idle_spin: bool = True
     use_no_preempt_flags: bool = False
     server_partition_aware: bool = False
+    policy: Optional[str] = None
+    shards: Optional[int] = None
     seed: int = 0
     max_time: int = field(default_factory=lambda: units.seconds(3600))
     faults: Optional[str] = None

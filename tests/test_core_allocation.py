@@ -1,0 +1,139 @@
+"""Tests for the pluggable allocation-policy layer (protocol + registry)."""
+
+import pytest
+
+from repro.core.allocation import (
+    POLICY_NAMES,
+    AllocationPolicy,
+    AllocationRequest,
+    DemandPolicy,
+    EquipartitionPolicy,
+    SpaceAwarePolicy,
+    WeightedPolicy,
+    make_policy,
+)
+from repro.core.policy import partition_processors
+
+
+def request(n=8, uncontrolled=0, totals=None, demands=None):
+    return AllocationRequest(
+        n_processors=n,
+        uncontrolled_runnable=uncontrolled,
+        app_totals=totals if totals is not None else {"a": 6, "b": 6},
+        demands=demands if demands is not None else {},
+    )
+
+
+class TestRegistry:
+    def test_names_cover_the_constructible_policies(self):
+        assert POLICY_NAMES == ("demand", "equal", "weighted")
+
+    def test_make_policy_builds_each_name(self):
+        assert isinstance(make_policy("equal"), EquipartitionPolicy)
+        assert isinstance(make_policy("weighted"), WeightedPolicy)
+        assert isinstance(make_policy("demand"), DemandPolicy)
+
+    def test_make_policy_forwards_kwargs(self):
+        policy = make_policy("weighted", weights={"a": 2.0})
+        assert policy.weights == {"a": 2.0}
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(ValueError, match="demand, equal, weighted"):
+            make_policy("fair-share")
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            AllocationPolicy().allocate(request())
+
+
+class TestEquipartition:
+    def test_matches_the_raw_partition_function(self):
+        req = request(n=8, uncontrolled=2, totals={"a": 2, "b": 6, "c": 6})
+        assert EquipartitionPolicy().allocate(req) == partition_processors(
+            8, 2, {"a": 2, "b": 6, "c": 6}
+        )
+
+    def test_ignores_demands(self):
+        # Equipartition is backlog-blind by design (the paper's rule).
+        with_demand = EquipartitionPolicy().allocate(
+            request(demands={"a": 1, "b": 1})
+        )
+        without = EquipartitionPolicy().allocate(request())
+        assert with_demand == without
+
+
+class TestWeightedPolicy:
+    def test_weights_shift_shares(self):
+        targets = WeightedPolicy({"a": 3.0, "b": 1.0}).allocate(request())
+        assert targets["a"] > targets["b"]
+
+    def test_stale_weight_entries_are_filtered(self):
+        # The server's weight table legitimately outlives applications
+        # (they come and go); the policy must not trip the raw function's
+        # unknown-name validation on the survivors' behalf.
+        policy = WeightedPolicy({"a": 3.0, "gone": 2.0})
+        targets = policy.allocate(request(totals={"a": 6, "b": 6}))
+        assert set(targets) == {"a", "b"}
+        assert targets["a"] > targets["b"]
+
+    def test_empty_table_degrades_to_equipartition(self):
+        req = request()
+        assert WeightedPolicy().allocate(req) == EquipartitionPolicy().allocate(req)
+
+    def test_describe_lists_shares(self):
+        assert WeightedPolicy({"b": 2.0, "a": 1.0}).describe() == (
+            "weighted(a=1,b=2)"
+        )
+
+
+class TestDemandPolicy:
+    def test_backlog_caps_the_share(self):
+        # 8 CPUs, two 6-process apps; "a" reports only 2 outstanding
+        # tasks, so its share shrinks to 2 and the slack flows to "b".
+        targets = DemandPolicy().allocate(request(demands={"a": 2, "b": 6}))
+        assert targets == {"a": 2, "b": 6}
+
+    def test_unknown_demand_means_unbounded(self):
+        # Apps that never reported keep their full cap: pre-feedback
+        # behaviour, i.e. plain equipartition.
+        req = request()
+        assert DemandPolicy().allocate(req) == EquipartitionPolicy().allocate(req)
+
+    def test_zero_backlog_keeps_the_starvation_floor(self):
+        targets = DemandPolicy().allocate(request(demands={"a": 0, "b": 6}))
+        assert targets["a"] == 1
+
+    def test_demand_above_total_is_capped_at_total(self):
+        targets = DemandPolicy().allocate(
+            request(totals={"a": 3, "b": 6}, demands={"a": 50, "b": 50})
+        )
+        assert targets["a"] <= 3
+
+    def test_stale_weight_entries_are_filtered(self):
+        policy = DemandPolicy({"gone": 9.0})
+        targets = policy.allocate(request(totals={"a": 4}))
+        assert targets == {"a": 4}
+
+
+class _FakePartitionScheduler:
+    def __init__(self, groups):
+        self._groups = groups
+
+    def partition_of(self, app_id):
+        return self._groups.get(app_id, [])
+
+
+class TestSpaceAwarePolicy:
+    def test_targets_are_group_sizes_capped_by_process_count(self):
+        scheduler = _FakePartitionScheduler({"a": [0, 1, 2, 3], "b": [4, 5]})
+        policy = SpaceAwarePolicy(scheduler)
+        targets = policy.allocate(request(totals={"a": 3, "b": 6}))
+        assert targets == {"a": 3, "b": 2}
+
+    def test_empty_group_still_gets_the_starvation_floor(self):
+        policy = SpaceAwarePolicy(_FakePartitionScheduler({}))
+        assert policy.allocate(request(totals={"a": 5})) == {"a": 1}
+
+    def test_rejects_schedulers_without_partition_of(self):
+        with pytest.raises(TypeError, match="partition_of"):
+            SpaceAwarePolicy(object())

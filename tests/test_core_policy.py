@@ -70,6 +70,71 @@ class TestFairness:
         assert one == two
 
 
+class TestWeightedWaterFilling:
+    def test_remainder_goes_to_later_visited_app(self):
+        # Equal caps and weights: remainders land on the app visited last
+        # (ids break the cap/weight tie), deterministically.
+        assert partition_processors(7, 0, {"x": 7, "y": 7}) == {"x": 3, "y": 4}
+
+    def test_huge_weight_still_capped_and_slack_flows_through(self):
+        # A weight can demand the whole machine, but the process-count cap
+        # still binds, and everything the heavy app cannot use water-fills
+        # to the light one.
+        targets = partition_processors(
+            16, 0, {"a": 3, "b": 16}, weights={"a": 100.0, "b": 1.0}
+        )
+        assert targets == {"a": 3, "b": 13}
+
+    def test_section5_worked_example_under_unequal_weights(self):
+        # The paper's 8-CPU / 2-uncontrolled example, but app2 holding
+        # double priority: it takes half the 6-processor pool, the
+        # starvation floor still guarantees app1 its one, and the sum
+        # still exactly fills the pool.
+        targets = partition_processors(
+            8, 2, {"app1": 2, "app2": 6, "app3": 6}, weights={"app2": 2.0}
+        )
+        assert targets == {"app1": 1, "app2": 3, "app3": 2}
+        assert sum(targets.values()) == 6
+
+    def test_weight_shares_are_proportional_when_uncapped(self):
+        targets = partition_processors(
+            12, 0, {"a": 12, "b": 12, "c": 12},
+            weights={"a": 2.0, "b": 1.0, "c": 1.0},
+        )
+        assert targets == {"a": 6, "b": 3, "c": 3}
+
+    def test_missing_weight_defaults_to_one(self):
+        explicit = partition_processors(
+            12, 0, {"a": 12, "b": 12}, weights={"a": 2.0, "b": 1.0}
+        )
+        defaulted = partition_processors(
+            12, 0, {"a": 12, "b": 12}, weights={"a": 2.0}
+        )
+        assert explicit == defaulted
+
+
+class TestWeightsValidation:
+    def test_unknown_weight_key_raises(self):
+        # Regression: a typo'd app id used to silently fall back to the
+        # 1.0 default for the app it failed to name.
+        with pytest.raises(ValueError, match="unknown application"):
+            partition_processors(
+                8, 0, {"a": 4}, weights={"a": 1.0, "typo": 2.0}
+            )
+
+    def test_unknown_weight_key_raises_even_with_no_apps(self):
+        # The check runs before the empty-totals early return: a weights
+        # table naming only ghosts is a caller bug regardless of load.
+        with pytest.raises(ValueError, match="unknown application"):
+            partition_processors(8, 0, {}, weights={"ghost": 1.0})
+
+    def test_error_lists_every_unknown_name(self):
+        with pytest.raises(ValueError, match="'ghost1', 'ghost2'"):
+            partition_processors(
+                8, 0, {"a": 4}, weights={"ghost2": 1.0, "ghost1": 2.0}
+            )
+
+
 class TestValidation:
     def test_bad_inputs(self):
         with pytest.raises(ValueError):

@@ -2,11 +2,24 @@
 
 import pytest
 
+from repro.core.allocation import DemandPolicy, EquipartitionPolicy, make_policy
 from repro.core.server import ProcessControlServer
 from repro.kernel import syscalls as sc
+from repro.kernel.process import ProcessState, RunnableProcessInfo
 from repro.sim import units
 
 from tests.conftest import make_kernel
+
+
+def table_row(pid, app_id=None, controllable=False, state=ProcessState.READY):
+    return RunnableProcessInfo(
+        pid=pid,
+        ppid=0,
+        app_id=app_id,
+        controllable=controllable,
+        state=state,
+        name=f"p{pid}",
+    )
 
 
 def cpu_bound(duration, chunk=units.ms(10)):
@@ -126,6 +139,84 @@ class TestServerLoop:
         kernel.run_until_quiescent()
         first = server.history[0][1]
         assert first["a"] > first["b"]
+
+    def test_policy_and_weights_are_mutually_exclusive(self):
+        kernel = make_kernel()
+        with pytest.raises(ValueError, match="WeightedPolicy"):
+            ProcessControlServer(
+                kernel,
+                interval=units.ms(50),
+                weights={"a": 2.0},
+                policy=EquipartitionPolicy(),
+            )
+
+    def test_default_policy_is_equipartition(self):
+        server = ProcessControlServer(make_kernel(), interval=units.ms(50))
+        assert isinstance(server.policy, EquipartitionPolicy)
+
+    def test_registry_built_default_reproduces_section5(self):
+        # The worked example of Section 5, driven straight through
+        # compute_targets with a policy built from the registry: 8 CPUs,
+        # 2 uncontrolled runnable processes, apps of 2/6/6 -> 2/2/2.
+        kernel = make_kernel(n_processors=8)
+        server = ProcessControlServer(
+            kernel, interval=units.ms(50), policy=make_policy("equal")
+        )
+        table = [table_row(pid, controllable=False) for pid in (100, 101)]
+        pid = 200
+        for app_id, total in (("app1", 2), ("app2", 6), ("app3", 6)):
+            for _ in range(total):
+                table.append(table_row(pid, app_id=app_id, controllable=True))
+                pid += 1
+        targets = server.compute_targets(table, now=0)
+        assert targets == {"app1": 2, "app2": 2, "app3": 2}
+
+    def test_demand_policy_consumes_board_reports(self):
+        kernel = make_kernel(n_processors=8)
+        server = ProcessControlServer(
+            kernel, interval=units.ms(50), policy=DemandPolicy()
+        )
+        table = []
+        pid = 200
+        for app_id in ("a", "b"):
+            for _ in range(6):
+                table.append(table_row(pid, app_id=app_id, controllable=True))
+                pid += 1
+        # Before any demand report: plain equipartition.
+        assert server.compute_targets(table, now=0) == {"a": 4, "b": 4}
+        # "a" reports a 2-task backlog: its share shrinks, "b" absorbs.
+        server.board.report_demand("a", 2, now=0)
+        assert server.compute_targets(table, now=0) == {"a": 2, "b": 6}
+
+    def test_registration_piggybacks_initial_backlog(self):
+        kernel = make_kernel(n_processors=2)
+        server = ProcessControlServer(kernel, interval=units.ms(50))
+        server.start()
+
+        def registering_app():
+            yield sc.ChannelSend(
+                server.channel, ("register", "myapp", 42, 7)
+            )
+            yield sc.Compute(units.ms(200))
+
+        kernel.spawn(
+            registering_app(), name="root", app_id="myapp", controllable=True
+        )
+        kernel.run_until_quiescent()
+        assert server.registered == {"myapp": 42}
+        assert server.board.demand_snapshot() == {"myapp": 7}
+
+    def test_published_targets_and_shard_surfaces(self):
+        server = ProcessControlServer(make_kernel(), interval=units.ms(50))
+        assert server.boards == [server.board]
+        assert server.channels == [server.channel]
+        assert server.shard_index == 0
+        server.board.post({"a": 3}, now=0)
+        published = server.published_targets()
+        assert published == {"a": 3}
+        # A copy, not the live dict.
+        published["a"] = 99
+        assert server.board.targets == {"a": 3}
 
     def test_targets_track_departures(self):
         kernel = make_kernel(n_processors=4)
