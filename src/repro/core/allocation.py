@@ -59,12 +59,18 @@ class AllocationRequest:
         demands: last task-queue backlog each application reported
             (queued + in-execution tasks); applications that never
             reported are absent, meaning "demand unknown".
+        demand_reported_at: when each backlog figure was written (board
+            timestamp); absent = never reported.  Lets policies age the
+            telemetry instead of trusting a dead application's last word.
+        now: the server's scan time, for aging ``demand_reported_at``.
     """
 
     n_processors: int
     uncontrolled_runnable: int
     app_totals: Mapping[str, int]
     demands: Mapping[str, int] = field(default_factory=dict)
+    demand_reported_at: Mapping[str, int] = field(default_factory=dict)
+    now: int = 0
 
 
 class AllocationPolicy:
@@ -154,17 +160,84 @@ class DemandPolicy(AllocationPolicy):
     can absorb it.  Applications that never reported keep their full cap:
     unknown demand is treated as unbounded, which degrades to
     equipartition and is exactly the pre-feedback behaviour.
+
+    Two robustness knobs (both off by default, preserving bit-identical
+    behaviour for existing runs):
+
+    * ``smoothing`` -- EWMA coefficient in ``(0, 1]``.  Each round the
+      policy tracks ``s = alpha*report + (1-alpha)*s`` per application and
+      caps on the *smoothed* backlog (rounded up, so a single-task burst
+      is never smoothed below one grantable slot).  Damps target jitter
+      under bursty phase structure.  ``1.0`` is equivalent to no
+      smoothing; ``None`` disables the tracker entirely.
+    * ``report_ttl`` -- microseconds after which an unrefreshed backlog
+      report stops being trusted: the application reverts to "demand
+      unknown" (full cap) and its EWMA state is dropped.  Mirrors the
+      threads package's stale-target TTL in the opposite direction, so a
+      dead application's last backlog cannot pin machine shares forever.
+
+    The EWMA tracker is the one place a policy keeps per-round state; it
+    is keyed by application id and pruned as applications vanish, so a
+    single instance still serves several sharded servers (shards see
+    disjoint application sets).
     """
 
     name = "demand"
 
-    def __init__(self, weights: Optional[Mapping[str, float]] = None) -> None:
+    def __init__(
+        self,
+        weights: Optional[Mapping[str, float]] = None,
+        smoothing: Optional[float] = None,
+        report_ttl: Optional[int] = None,
+    ) -> None:
+        if smoothing is not None and not 0.0 < smoothing <= 1.0:
+            raise ValueError(
+                f"demand smoothing must be in (0, 1], got {smoothing}"
+            )
+        if report_ttl is not None and report_ttl <= 0:
+            raise ValueError(
+                f"demand report_ttl must be positive, got {report_ttl}"
+            )
         self.weights: Dict[str, float] = dict(weights) if weights else {}
+        self.smoothing = smoothing
+        self.report_ttl = report_ttl
+        self._smoothed: Dict[str, float] = {}
+
+    def _effective_demand(
+        self, app_id: str, request: AllocationRequest
+    ) -> Optional[int]:
+        """The backlog figure to cap on, or ``None`` for "unknown"."""
+        demand = request.demands.get(app_id)
+        if demand is not None and self.report_ttl is not None:
+            reported_at = request.demand_reported_at.get(app_id)
+            if (
+                reported_at is None
+                or request.now - reported_at > self.report_ttl
+            ):
+                demand = None  # report went stale: back to unbounded
+        if demand is None:
+            self._smoothed.pop(app_id, None)
+            return None
+        if self.smoothing is None:
+            return demand
+        alpha = self.smoothing
+        previous = self._smoothed.get(app_id)
+        smoothed = (
+            float(demand)
+            if previous is None
+            else alpha * demand + (1.0 - alpha) * previous
+        )
+        self._smoothed[app_id] = smoothed
+        # Round up: a fractional smoothed backlog still needs a slot.
+        return int(smoothed) + (smoothed > int(smoothed))
 
     def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        for app_id in list(self._smoothed):
+            if app_id not in request.app_totals:
+                del self._smoothed[app_id]
         caps: Dict[str, int] = {}
         for app_id, total in request.app_totals.items():
-            demand = request.demands.get(app_id)
+            demand = self._effective_demand(app_id, request)
             if demand is None:
                 caps[app_id] = total
             else:
@@ -180,6 +253,14 @@ class DemandPolicy(AllocationPolicy):
             caps,
             weights=known or None,
         )
+
+    def describe(self) -> str:
+        knobs = []
+        if self.smoothing is not None:
+            knobs.append(f"ewma={self.smoothing:g}")
+        if self.report_ttl is not None:
+            knobs.append(f"report_ttl={self.report_ttl}us")
+        return f"{self.name}({','.join(knobs)})" if knobs else self.name
 
 
 class SpaceAwarePolicy(AllocationPolicy):

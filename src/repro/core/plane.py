@@ -71,6 +71,18 @@ class _RoutedBoard:
         return self._board.updated_at
 
     @property
+    def crashed_at(self) -> Optional[int]:
+        return self._board.crashed_at
+
+    @property
+    def heartbeat_at(self) -> Optional[int]:
+        return self._board.heartbeat_at
+
+    @property
+    def heartbeat_seq(self) -> int:
+        return self._board.heartbeat_seq
+
+    @property
     def targets(self) -> Dict[str, int]:
         return self._board.targets
 
@@ -129,6 +141,12 @@ class ControlPlane:
         self.assignment: Dict[str, int] = {}
         self._assign_order: List[str] = []
         self._next_shard = 0
+        #: Shards still owning a processor region.  ``None`` (the normal
+        #: state) means *all* of them -- kept as a sentinel rather than a
+        #: full set so the default capacity math is byte-for-byte the
+        #: legacy formula.  :meth:`fail_over` shrinks it; restarts grow
+        #: it back and restore the sentinel at full strength.
+        self._active: Optional[Set[int]] = None
 
     # ------------------------------------------------------------------
     # Routing
@@ -165,22 +183,39 @@ class ControlPlane:
         """The registration channel for *app_id*'s shard."""
         return self.shard_server(app_id).channel
 
+    def active_shards(self) -> List[int]:
+        """Shards currently owning a processor region, ascending."""
+        if self._active is None:
+            return list(range(self.n_shards))
+        return sorted(self._active)
+
     def shard_capacity(self, index: int) -> int:
         """Processors shard *index* is responsible for right now.
 
-        The online processors are sliced into ``n_shards`` near-equal
-        regions each round, so hot-plug rebalances capacity automatically.
-        Floored at 1: a shard that lost its whole region still honours the
-        starvation guarantee for the applications routed to it.
+        The online processors are sliced into near-equal regions over the
+        *active* shards each round, so CPU hot-plug -- and shard failover,
+        which removes a shard from the active set and lets the survivors
+        absorb its region -- rebalances capacity automatically.  Floored
+        at 1: a shard that lost its whole region (or was failed over but
+        somehow still scans) still honours the starvation guarantee for
+        any application routed to it.
         """
+        active = self.active_shards()
+        if index not in active:
+            return 1
         online = len(self.kernel.online_cpus())
-        base, extra = divmod(online, self.n_shards)
-        return max(1, base + (1 if index < extra else 0))
+        base, extra = divmod(online, len(active))
+        position = active.index(index)
+        return max(1, base + (1 if position < extra else 0))
 
     def shard_uncontrolled(self, index: int, total: int) -> int:
         """Shard *index*'s slice of the machine-wide uncontrolled load."""
-        base, extra = divmod(total, self.n_shards)
-        return base + (1 if index < extra else 0)
+        active = self.active_shards()
+        if index not in active:
+            return 0
+        base, extra = divmod(total, len(active))
+        position = active.index(index)
+        return base + (1 if position < extra else 0)
 
     def server_pids(self) -> Set[Optional[int]]:
         """Live pids of every shard server (excluded from uncontrolled
@@ -198,10 +233,11 @@ class ControlPlane:
         (``app_id -> new shard``); no live shard means nothing to do --
         the stale-target TTL in the threads package owns a total outage.
         """
+        active = set(self.active_shards())
         live = [
             index
             for index, server in enumerate(self.servers)
-            if server.pid is not None
+            if server.pid is not None and index in active
         ]
         if not live:
             return {}
@@ -262,8 +298,55 @@ class ControlPlane:
                 restarted.append(server.restart())
         if not restarted:
             raise RuntimeError("server is already running")
+        self._active = None  # full strength: every region owned again
         self.rebalance(spread=True)
         return restarted[0]
+
+    def restart_shard(self, index: int) -> Process:
+        """Restart one dead shard, return its region, re-spread routing."""
+        process = self.servers[index].restart()
+        if self._active is not None:
+            self._active.add(index)
+            if len(self._active) == self.n_shards:
+                self._active = None
+        self.rebalance(spread=True)
+        return process
+
+    def fail_over(self, index: int) -> Dict[str, int]:
+        """Write shard *index* off: give its region and apps to survivors.
+
+        The shard leaves the active set (so :meth:`shard_capacity` splits
+        the online processors over the remaining shards -- the survivors
+        absorb the orphaned region) and its applications are re-routed to
+        live active shards.  If no survivor exists the routing is left
+        alone and the returned move map is empty: the plane is *degraded*,
+        and the threads package's stale-target TTL owns recovery.  A later
+        :meth:`restart_shard`/:meth:`restart` returns the shard to
+        service.
+        """
+        if self._active is None:
+            self._active = set(range(self.n_shards))
+        self._active.discard(index)
+        server = self.servers[index]
+        if server.pid is not None:
+            server.crash()
+        moves = self.rebalance()
+        self.kernel.trace.emit(
+            self.kernel.now,
+            "plane.failover",
+            shard=index,
+            active=self.active_shards(),
+            moves=dict(moves),
+        )
+        return moves
+
+    def set_policy(
+        self, policy: AllocationPolicy, shard: Optional[int] = None
+    ) -> None:
+        """Hot-swap the allocation rule on one shard (or all of them)."""
+        targets = self.servers if shard is None else [self.servers[shard]]
+        for server in targets:
+            server.set_policy(policy)
 
     @property
     def interval_jitter(self):

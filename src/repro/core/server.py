@@ -98,6 +98,10 @@ class ProcessControlServer:
         self.interval_jitter = None
         self.crashes = 0
         self.restarts = 0
+        #: When :meth:`set_policy` last swapped the rule (``None`` = never);
+        #: the sanitizer reads this to open its transition window.
+        self.policy_swapped_at: Optional[int] = None
+        self.policy_swaps = 0
         # Shard binding (None = this server owns the whole machine).
         self._plane: Optional[Any] = None
         self._shard_index: int = 0
@@ -135,6 +139,30 @@ class ProcessControlServer:
         """The targets currently in force (what the sanitizer audits)."""
         return dict(self.board.targets)
 
+    def set_policy(self, policy: AllocationPolicy) -> AllocationPolicy:
+        """Hot-swap the allocation rule; returns the one replaced.
+
+        Safe at any instant: the running scan loop re-reads
+        ``self.policy`` each round, so the swap takes effect at the next
+        scan boundary.  Targets on the board stay whatever the *old*
+        policy posted until then -- the one-scan transition window the
+        sanitizer's share-overrun check is taught to tolerate (it reads
+        :attr:`policy_swapped_at`).
+        """
+        previous = self.policy
+        self.policy = policy
+        self.policy_swapped_at = self.kernel.now
+        self.policy_swaps += 1
+        self.kernel.trace.emit(
+            self.kernel.now,
+            "pc.policy_swap",
+            server=self.name,
+            shard=self._shard_index,
+            old=getattr(previous, "name", type(previous).__name__),
+            new=getattr(policy, "name", type(policy).__name__),
+        )
+        return previous
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -161,6 +189,10 @@ class ProcessControlServer:
             return False
         killed = self.kernel.kill(self.pid)
         self.kernel.trace.emit(self.kernel.now, "server.crash", pid=self.pid)
+        # Stamp the crash epoch: the targets stay readable, but readers
+        # (and the watchdog) can now age them from the death instant
+        # instead of from whenever the server last wrote.
+        self.board.mark_crashed(self.kernel.now)
         self.pid = None
         self.crashes += 1
         return killed
@@ -183,6 +215,10 @@ class ProcessControlServer:
             self._program(), name=self.name, daemon=True, controllable=False
         )
         self.pid = process.pid
+        # The new incarnation owns the board again; its first post would
+        # clear the epoch anyway, but readers should not treat the
+        # restart window as an ongoing crash.
+        self.board.crashed_at = None
         self.restarts += 1
         self.kernel.trace.emit(
             self.kernel.now,
@@ -241,6 +277,8 @@ class ProcessControlServer:
                 uncontrolled_runnable=uncontrolled,
                 app_totals=app_totals,
                 demands=self.board.demand_snapshot(),
+                demand_reported_at=dict(self.board.demand_reported_at),
+                now=now,
             )
         )
 
@@ -269,6 +307,9 @@ class ProcessControlServer:
             targets = self.compute_targets(table, self.kernel.now)
             yield sc.Compute(self.compute_cost)
             self.board.post(targets, self.kernel.now)
+            # Liveness word for the watchdog: a free shared-memory stamp
+            # once per scan (never an event, so golden traces hold).
+            self.board.beat(self.kernel.now)
             self.updates += 1
             self.history.append((self.kernel.now, dict(targets)))
             self.kernel.trace.emit(

@@ -16,6 +16,7 @@ from repro.core.plane import SHARDS_ENV_VAR
 from repro.experiments.parallel import JOBS_ENV_VAR
 from repro.faults.campaign import main as chaos_main
 from repro.faults.plan import FAULTS_ENV_VAR
+from repro.resilience.watchdog import SUPERVISE_ENV_VAR
 from repro.sanitize.invariants import SANITIZE_ENV_VAR
 from repro.experiments import (
     ablations,
@@ -27,6 +28,7 @@ from repro.experiments import (
     figure5,
     mechanisms,
     policies,
+    recovery,
     steady_state,
 )
 
@@ -42,6 +44,7 @@ _EXPERIMENTS = {
     "policies": policies.main,
     "steady-state": steady_state.main,
     "chaos": chaos_main,
+    "recovery": recovery.main,
 }
 
 
@@ -105,6 +108,14 @@ def main() -> None:
         "not pin a count itself (equivalent to setting $REPRO_SHARDS; "
         "default 1 = the paper's single server)",
     )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="arm the control-plane watchdog (heartbeat monitoring, shard "
+        "restart/failover) in every scenario that does not pin "
+        "Scenario.supervise itself (equivalent to setting "
+        "$REPRO_SUPERVISE=1; see docs/RESILIENCE.md)",
+    )
     args = parser.parse_args()
     if args.jobs is not None:
         # The sweep runners consult REPRO_JOBS; routing the flag through
@@ -125,6 +136,8 @@ def main() -> None:
         if args.shards < 1:
             parser.error("--shards must be >= 1")
         os.environ[SHARDS_ENV_VAR] = str(args.shards)
+    if args.supervise:
+        os.environ[SUPERVISE_ENV_VAR] = "1"
     if args.experiment == "all":
         for name in sorted(_EXPERIMENTS):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

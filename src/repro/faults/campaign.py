@@ -33,11 +33,13 @@ DEFAULT_INJECTORS: Dict[str, str] = {
         "cpu-offline:cpu=1,at=5ms,duration=40ms;"
         "cpu-offline:cpu=2,at=20ms,duration=40ms"
     ),
-    # The runner sizes the stale-target TTL at 4 x the 10ms intervals;
-    # expiry fires at (last fresh poll) + TTL, and polls stay "fresh"
-    # until the board is TTL-old, so the outage must exceed ~2 x TTL plus the poll backoff for
-    # the campaign to exercise TTL expiry + crash-safe re-registration.
-    "server-crash": "server-crash:at=8ms,down=140ms",
+    # The runner sizes the stale-target TTL at 4 x the 10ms intervals.
+    # The crash lands at 25ms -- after every application's first poll, so
+    # targets are *adopted* when the server dies -- and stamps an epoch
+    # on the board: polls fail immediately and the TTL releases targets
+    # at ~(crash + TTL) = 65ms, with the 120ms outage leaving room for
+    # crash-safe re-registration after the restart.
+    "server-crash": "server-crash:at=25ms,down=120ms",
     "poll-chaos": (
         "poll-drop:at=5ms,duration=50ms,p=0.9;"
         "poll-delay:at=60ms,duration=30ms,delay=4ms"
@@ -52,6 +54,23 @@ DEFAULT_INJECTORS: Dict[str, str] = {
 
 #: Kernel policies the default campaign crosses the injectors with.
 DEFAULT_SCHEDULERS = ("fifo", "decay", "partition")
+
+
+def shard_injectors(shards: int) -> Dict[str, str]:
+    """One shard-targeted crash plan per shard (``server-crash:shard=i``).
+
+    For sharded campaigns: ``run_campaign(injectors=shard_injectors(2),
+    shards=2)`` kills exactly one shard per cell and lets the assertion
+    machinery verify the *other* region's applications ride through.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return {
+        f"shard{index}-crash": (
+            f"server-crash:at=8ms,down=140ms,shard={index}"
+        )
+        for index in range(shards)
+    }
 
 #: Healthy-vs-faulted makespan ratio the campaign tolerates by default.
 #: Taking processors away or killing the server for most of a short run

@@ -117,35 +117,79 @@ class CpuOfflineFault(FaultInjector):
 
 
 class ServerCrashFault(FaultInjector):
-    """Crash the control server at ``at``; restart after ``down`` (if set)."""
+    """Crash the control server at ``at``; restart after ``down`` (if set).
+
+    With ``shard`` set, kill exactly that shard of a
+    :class:`~repro.core.plane.ControlPlane` instead of the whole plane --
+    the other regions' servers keep scanning and their applications keep
+    fresh targets.  A shard index the watched server cannot resolve (bare
+    single server, or out of range) logs an unapplied fault rather than
+    failing the run: a chaos plan is a hypothesis, not a precondition.
+    """
 
     kind = "server-crash"
 
-    def __init__(self, at: int = 0, down: Optional[int] = None):
+    def __init__(
+        self,
+        at: int = 0,
+        down: Optional[int] = None,
+        shard: Optional[int] = None,
+    ):
         self.at = at
         self.down = down
+        self.shard = shard
 
     def params(self) -> Dict[str, Any]:
-        return {"at": self.at, "down": self.down}
+        return {"at": self.at, "down": self.down, "shard": self.shard}
 
     def install(self, ctx: FaultContext) -> None:
         server = ctx.server
         engine = ctx.kernel.engine
+        shard = self.shard
+
+        def resolve_shard():
+            """The shard's own server, or None when unresolvable."""
+            shards = getattr(server, "servers", None)
+            if shards is None or not 0 <= shard < len(shards):
+                return None
+            return shards[shard]
 
         def crash() -> None:
             if server is None or server.pid is None:
-                ctx.log("server_crash", applied=False)
+                ctx.log("server_crash", applied=False, shard=shard)
                 return
-            server.crash()
-            ctx.log("server_crash", applied=True)
+            if shard is None:
+                server.crash()
+            else:
+                target = resolve_shard()
+                if target is None or target.pid is None:
+                    ctx.log("server_crash", applied=False, shard=shard)
+                    return
+                # Route through the plane when it can rebalance routing.
+                crash_shard = getattr(server, "crash_shard", None)
+                if crash_shard is not None:
+                    crash_shard(shard)
+                else:
+                    target.crash()
+            ctx.log("server_crash", applied=True, shard=shard)
             if self.down is not None:
                 engine.schedule(self.down, restart, "fault-server-restart")
 
         def restart() -> None:
-            if server.pid is not None:  # someone else already restarted it
-                return
-            process = server.restart()
-            ctx.log("server_restart", pid=process.pid)
+            if shard is None:
+                if server.pid is not None:  # someone already restarted it
+                    return
+                process = server.restart()
+            else:
+                target = resolve_shard()
+                if target is None or target.pid is not None:
+                    return
+                restart_shard = getattr(server, "restart_shard", None)
+                if restart_shard is not None:
+                    process = restart_shard(shard)
+                else:
+                    process = target.restart()
+            ctx.log("server_restart", pid=process.pid, shard=shard)
 
         engine.schedule_at(self.at, crash, "fault-server-crash")
 

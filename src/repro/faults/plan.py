@@ -68,7 +68,7 @@ _CATALOG: Dict[str, Tuple[Callable[..., FaultInjector], Dict[str, Callable[[str]
     ),
     "server-crash": (
         ServerCrashFault,
-        {"at": _time, "down": _time},
+        {"at": _time, "down": _time, "shard": _int},
     ),
     "poll-drop": (
         lambda **kw: PollFault(mode="drop", **kw),
@@ -184,13 +184,17 @@ def random_fault_spec(
     n_faults: int = 3,
     cpus: int = 8,
     kinds: Sequence[str] = INJECTOR_KINDS,
+    shards: int = 1,
 ) -> str:
     """A random-but-reproducible plan spec (property tests, fuzz sweeps).
 
     Returns a *spec string* rather than a plan so callers get a fresh,
     picklable plan per run; the same ``(seed, horizon, n_faults)`` always
     yields the same spec.  Events land in the first ~60% of ``horizon`` so
-    the run has room to degrade gracefully and recover.
+    the run has room to degrade gracefully and recover.  With ``shards >
+    1`` half the server crashes (by coin flip) target a random single
+    shard; at the default 1 the draw sequence is exactly the historical
+    one, so existing seeds keep their specs.
     """
     rng = RandomStreams(seed).get("fault-spec")
     window = max(1, (horizon * 3) // 5)
@@ -203,7 +207,13 @@ def random_fault_spec(
             cpu = rng.randrange(cpus)
             items.append(f"cpu-offline:cpu={cpu},at={at},duration={duration}")
         elif kind == "server-crash":
-            items.append(f"server-crash:at={at},down={duration}")
+            if shards > 1 and rng.random() < 0.5:
+                shard = rng.randrange(shards)
+                items.append(
+                    f"server-crash:at={at},down={duration},shard={shard}"
+                )
+            else:
+                items.append(f"server-crash:at={at},down={duration}")
         elif kind == "poll-drop":
             p = round(rng.uniform(0.3, 1.0), 3)
             items.append(f"poll-drop:at={at},duration={duration},p={p}")

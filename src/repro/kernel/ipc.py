@@ -99,6 +99,16 @@ class ControlBoard:
         #: tasks), and when; consumed by demand-aware allocation policies.
         self.demands: Dict[str, int] = {}
         self.demand_reported_at: Dict[str, int] = {}
+        #: Liveness word: the owning server stamps the board every scan
+        #: (see :meth:`beat`); a watchdog that sees the stamp stop aging
+        #: declares the server suspect.  Free shared-memory traffic.
+        self.heartbeat_at: Optional[int] = None
+        self.heartbeat_seq = 0
+        #: Crash epoch: when the owning server dies *detectably* (killed
+        #: by an injector, not merely wedged) the kernel-side teardown
+        #: stamps the time here, so readers age the stale targets from
+        #: the crash instant rather than from the last write.
+        self.crashed_at: Optional[int] = None
 
     def post(self, targets: Dict[str, int], now: int) -> None:
         """Publish a new target map (server side)."""
@@ -110,6 +120,17 @@ class ControlBoard:
         self.targets = dict(targets)
         self.version += 1
         self.updated_at = now
+        # A live post supersedes any recorded crash of a prior incarnation.
+        self.crashed_at = None
+
+    def beat(self, now: int) -> None:
+        """Stamp the liveness word (server side, once per scan)."""
+        self.heartbeat_at = now
+        self.heartbeat_seq += 1
+
+    def mark_crashed(self, now: int) -> None:
+        """Record the owning server's death (kernel/injector side)."""
+        self.crashed_at = now
 
     def read(self, app_id: str) -> Optional[int]:
         """Read the current target for *app_id* (application side).

@@ -660,6 +660,34 @@ class SchedSanitizer:
                 f"the calendar holds {live}",
             )
 
+    def _in_policy_transition(self, app_id: str, now: int) -> bool:
+        """True while *app_id*'s responsible server digests a policy swap.
+
+        The tolerance lasts one server interval (the swapped rule's first
+        scan) plus the usual compliance window (the packages' re-poll
+        slack) from the recorded ``policy_swapped_at``.  With a control
+        plane the app's own shard is consulted; unrouted apps (or a bare
+        server) fall back to every watched server's stamp.
+        """
+        server = self._server
+        shards = getattr(server, "servers", None)
+        if shards is not None:
+            index = getattr(server, "assignment", {}).get(app_id)
+            if index is not None and 0 <= index < len(shards):
+                candidates = [shards[index]]
+            else:
+                candidates = list(shards)
+        else:
+            candidates = [server]
+        for candidate in candidates:
+            swapped_at = getattr(candidate, "policy_swapped_at", None)
+            if swapped_at is None:
+                continue
+            interval = getattr(candidate, "interval", 0) or 0
+            if now - swapped_at <= interval + self._compliance_window:
+                return True
+        return False
+
     def _check_server_share(self) -> None:
         # Ask the watched server (or control plane) what the active policy
         # has actually published -- with sharded servers this merges every
@@ -700,6 +728,15 @@ class SchedSanitizer:
             granted = max(target, 1)
             count = runnable.get(app_id, 0)
             if count <= granted:
+                self._overrun_since.pop(app_id, None)
+                continue
+            if self._in_policy_transition(app_id, now):
+                # A hot policy swap (server.set_policy) was taken within
+                # the last scan-plus-compliance window: the board may
+                # still carry the *old* rule's word while packages have
+                # adopted it, so a transient overrun against the new
+                # rule's tighter grant is legitimate until the swapped
+                # server has scanned and the packages have re-polled.
                 self._overrun_since.pop(app_id, None)
                 continue
             previous = self._overrun_since.get(app_id)

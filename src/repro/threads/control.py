@@ -61,10 +61,21 @@ class ControlState:
         self.first_failure = None
 
     def note_failure(
-        self, now: int, base_gap: int, max_gap: int, ttl: int
+        self,
+        now: int,
+        base_gap: int,
+        max_gap: int,
+        ttl: int,
+        crash_epoch: Optional[int] = None,
     ) -> bool:
         """Record a failed/stale poll: back off (bounded exponential) and
         check the stale-target TTL.
+
+        *crash_epoch* is the board's recorded server-death time, when one
+        is known: the TTL then ages from the crash instant rather than
+        from our last successful read, so every worker of every
+        application releases a dead server's target on the same schedule
+        no matter when it last happened to poll.
 
         Returns ``True`` when the TTL expired on this failure, in which
         case the target is released (``None``) so the application restores
@@ -76,6 +87,15 @@ class ControlState:
         self.consecutive_failures += 1
         self.poll_gap = min(base_gap << self.consecutive_failures, max_gap)
         anchor = self.last_fresh if self.last_fresh is not None else self.first_failure
+        if crash_epoch is not None:
+            # The word was good until the server died, and nothing read
+            # after the death is fresh: age from the crash instant -- or
+            # from an even earlier failure streak (a wedged server that
+            # then died must not have its countdown reset by the death
+            # notice).
+            anchor = crash_epoch
+            if self.first_failure is not None:
+                anchor = min(anchor, self.first_failure)
         if self.target is not None and now - anchor >= ttl:
             self.target = None
             self.target_expiries += 1

@@ -378,7 +378,11 @@ class ThreadsPackage:
             ttl = config.stale_target_ttl
             if ttl is not None:
                 now = self.kernel.now
-                stale = (
+                # A recorded crash epoch marks the word stale immediately
+                # (the server is known dead, however recently it wrote);
+                # otherwise staleness is the plain write-age test.
+                crash_epoch = getattr(board, "crashed_at", None)
+                stale = crash_epoch is not None or (
                     board.updated_at is not None and now - board.updated_at > ttl
                 )
                 if target is not None and not stale:
@@ -394,7 +398,11 @@ class ThreadsPackage:
                     # anything for us is not a failure -- that is the
                     # ordinary state right after arrival.
                     expired = control.note_failure(
-                        now, config.poll_interval, config.poll_backoff_max, ttl
+                        now,
+                        config.poll_interval,
+                        config.poll_backoff_max,
+                        ttl,
+                        crash_epoch=crash_epoch,
                     )
                     self.kernel.trace.emit(
                         now,

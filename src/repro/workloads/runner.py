@@ -24,6 +24,7 @@ from repro.faults.plan import FAULTS_ENV_VAR, FaultPlan
 from repro.kernel import Kernel, syscalls as sc
 from repro.machine import Machine
 from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
+from repro.resilience.watchdog import SUPERVISE_ENV_VAR, Watchdog
 from repro.sanitize.invariants import SchedSanitizer, sanitize_mode_from_env
 from repro.sim import Engine, TraceLog
 from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
@@ -46,6 +47,16 @@ RUNNER_TRACE_CATEGORIES = (
     "pc.target_expired",
     "server.crash",
     "server.restart",
+    # Self-healing categories (silent unless supervision is armed).
+    "pc.policy_swap",
+    "plane.rebalance",
+    "plane.failover",
+    "watchdog.suspect",
+    "watchdog.restart",
+    "watchdog.recovered",
+    "watchdog.failover",
+    "watchdog.degraded",
+    "watchdog.policy_swap",
     "kernel.cpu_offline",
     "kernel.cpu_online",
     "kernel.cpu_offline_refused",
@@ -111,6 +122,12 @@ class ScenarioResult:
     faults_injected: int = 0
     #: ``(time, event, data)`` tuples logged by the fault injectors.
     fault_events: List[Tuple[int, str, Dict[str, Any]]] = field(
+        default_factory=list
+    )
+    #: The watchdog's action counters (``None`` = supervision was off).
+    watchdog_counters: Optional[Dict[str, int]] = None
+    #: ``(time, kind, details)`` tuples for every watchdog action.
+    watchdog_events: List[Tuple[int, str, Dict[str, Any]]] = field(
         default_factory=list
     )
 
@@ -271,6 +288,19 @@ def run_scenario(
         if sanitizer is not None:
             sanitizer.watch_server(server, poll_interval=scenario.poll_interval)
 
+    # Supervision: scenario field first, then the env knob; an explicit
+    # False pins the watchdog off regardless of the environment (an
+    # experiment's unsupervised arm must stay unsupervised in CI).
+    supervise = scenario.supervise
+    if supervise is None:
+        supervise = bool(int(os.environ.get(SUPERVISE_ENV_VAR) or 0))
+    watchdog: Optional[Watchdog] = None
+    if supervise and server is not None:
+        watchdog = Watchdog(
+            kernel, server, config=scenario.watchdog, seed=scenario.seed
+        )
+        watchdog.start()
+
     # The stale-target TTL is sized so a healthy server (one post per
     # interval) can never look stale; only a dead or partitioned one can.
     stale_target_ttl = scenario.stale_target_ttl
@@ -397,4 +427,6 @@ def run_scenario(
         sanitizer_counters=dict(sanitizer.counters) if sanitizer else None,
         faults_injected=len(fault_plan.injectors) if fault_plan else 0,
         fault_events=list(fault_plan.events) if fault_plan else [],
+        watchdog_counters=watchdog.summary() if watchdog else None,
+        watchdog_events=list(watchdog.events) if watchdog else [],
     )

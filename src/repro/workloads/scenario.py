@@ -127,6 +127,14 @@ class Scenario:
             consults the ``REPRO_FAULTS`` environment knob.
         stale_target_ttl: override for the threads package's stale-target
             TTL; ``None`` lets the runner size it from the intervals.
+        supervise: arm the control-plane :class:`~repro.resilience.
+            Watchdog` (heartbeat monitoring, shard restart/failover).
+            ``None`` (the default) falls back to the ``REPRO_SUPERVISE``
+            environment knob; an explicit ``False`` keeps the watchdog
+            off even when the knob is set (so an experiment's
+            unsupervised arm stays unsupervised under a CI-wide knob).
+        watchdog: optional :class:`~repro.resilience.WatchdogConfig`
+            overriding the derived supervision timings.
     """
 
     apps: List[AppSpec]
@@ -146,6 +154,8 @@ class Scenario:
     max_time: int = field(default_factory=lambda: units.seconds(3600))
     faults: Optional[str] = None
     stale_target_ttl: Optional[int] = None
+    supervise: Optional[bool] = None
+    watchdog: Optional[Any] = None
 
     def with_(self, **overrides: Any) -> "Scenario":
         """A copy of this scenario with fields replaced (ablation helper)."""
