@@ -24,17 +24,97 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional
 
+from repro.apps.synthetic import UniformApp
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.steady_state import run_steady_state
+from repro.kernel import KernelConfig
+from repro.machine import MachineConfig
+from repro.sim import units
 from repro.workloads import runner
+from repro.workloads.scenario import AppSpec, Scenario
 
 #: Where the trajectory lands: the repository root.
 PERF_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
+def scale_scenario(
+    n_residents: int = 2_000,
+    n_churn: int = 8_000,
+    seed: int = 0,
+) -> Scenario:
+    """The ``scale`` tier: 1024 CPUs, 10k applications, 32 shards.
+
+    Two populations stress the two different hot paths:
+
+    * *residents* (2 workers, ~200 ms of work each) arrive in the first
+      100 ms and stay for most of the run, keeping the census, the shard
+      boards, and the water-filling cap structure populated by the
+      thousands -- with 1024 processors and >2000 resident caps the
+      machine runs overcommitted, so targets sit below caps and the
+      packages actually suspend and resume workers;
+    * *churn* applications (1 worker, ~4 ms of work) arrive every 187 us
+      for 1.5 s -- each arrival and departure is one O(log n) cap update
+      against the incremental water-filler and one census-journal entry,
+      never a full rescan.
+
+    Everything is deterministic (fixed arrival grid, no generator RNG), so
+    the fired-event count is an exact fingerprint for ``--check``.
+    """
+    apps = []
+    for i in range(n_residents):
+        app_id = f"res{i:04d}"
+        apps.append(
+            AppSpec(
+                factory=lambda app_id=app_id, i=i: UniformApp(
+                    app_id=app_id,
+                    n_tasks=40,
+                    task_cost=units.ms(5),
+                    seed=seed + i,
+                ),
+                n_processes=2,
+                arrival=i * 50,
+            )
+        )
+    for i in range(n_churn):
+        app_id = f"chn{i:04d}"
+        apps.append(
+            AppSpec(
+                factory=lambda app_id=app_id, i=i: UniformApp(
+                    app_id=app_id,
+                    n_tasks=2,
+                    task_cost=units.ms(2),
+                    seed=seed + n_residents + i,
+                ),
+                n_processes=1,
+                arrival=i * 187,
+            )
+        )
+    return Scenario(
+        apps=apps,
+        control="centralized",
+        machine=MachineConfig(n_processors=1024),
+        # A 10k-application deployment would not trace every census tick;
+        # leaving this on makes each change snapshot a 10k-entry dict.
+        kernel=KernelConfig(runnable_trace=False),
+        server_interval=units.ms(100),
+        poll_interval=units.ms(100),
+        shards=32,
+        seed=seed,
+        max_time=units.seconds(60),
+    )
+
+
+def run_scale():
+    """Run the scale tier once (serial; see :func:`scale_scenario`)."""
+    return runner.run_scenario(scale_scenario())
+
+
 #: Quick-preset slices: tens of thousands of events each (enough to put
 #: the measurement in the hot loops), small enough for a CI smoke job.
+#: The ``scale`` tier is the exception -- a single seven-figure-event run
+#: proving the 1024-CPU / 10k-app configuration completes within a CI
+#: wall budget (see ``--budget``).
 EXPERIMENTS = {
     "figure1": lambda: run_figure1(preset="quick", counts=(8, 16, 24), jobs=1),
     "figure3": lambda: run_figure3(
@@ -42,6 +122,7 @@ EXPERIMENTS = {
     ),
     "figure4": lambda: run_figure4(preset="quick"),
     "steady_state": lambda: run_steady_state(preset="quick", jobs=1),
+    "scale": run_scale,
 }
 
 
@@ -75,7 +156,11 @@ def record(names: Optional[Iterable[str]] = None, path: Path = PERF_PATH) -> Dic
     return data
 
 
-def check(names: Optional[Iterable[str]] = None, path: Path = PERF_PATH) -> bool:
+def check(
+    names: Optional[Iterable[str]] = None,
+    path: Path = PERF_PATH,
+    budget_s: Optional[float] = None,
+) -> bool:
     """Re-measure and compare ``events`` against the committed trajectory.
 
     The simulator is deterministic, so each experiment's event count is an
@@ -95,13 +180,20 @@ def check(names: Optional[Iterable[str]] = None, path: Path = PERF_PATH) -> bool
             print(f"{name:>14}: MISSING from {path.name}")
             clean = False
             continue
-        got = measure(name)["events"]
+        entry = measure(name)
+        got = entry["events"]
         if got == expected:
-            print(f"{name:>14}: {got:>9} events  ok")
+            print(f"{name:>14}: {got:>9} events  ok  ({entry['wall_s']:.2f}s)")
         else:
             print(
                 f"{name:>14}: {got:>9} events  MISMATCH "
                 f"(committed {expected})"
+            )
+            clean = False
+        if budget_s is not None and entry["wall_s"] > budget_s:
+            print(
+                f"{name:>14}: OVER BUDGET "
+                f"({entry['wall_s']:.2f}s > {budget_s:.0f}s wall-clock cap)"
             )
             clean = False
     return clean
@@ -112,14 +204,25 @@ def main(argv: Optional[Iterable[str]] = None) -> None:
     checking = "--check" in names
     if checking:
         names.remove("--check")
+    budget_s: Optional[float] = None
+    if "--budget" in names:
+        at = names.index("--budget")
+        try:
+            budget_s = float(names[at + 1])
+        except (IndexError, ValueError):
+            raise SystemExit("--budget requires a wall-clock limit in seconds")
+        del names[at : at + 2]
     for name in names:
         if name not in EXPERIMENTS:
             raise SystemExit(
                 f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
             )
     if checking:
-        if not check(names or None):
-            raise SystemExit("event counts drifted from BENCH_perf.json")
+        if not check(names or None, budget_s=budget_s):
+            raise SystemExit(
+                "event counts drifted from BENCH_perf.json"
+                + (" (or a tier blew its wall budget)" if budget_s else "")
+            )
         return
     data = record(names or None)
     for name, entry in sorted(data.items()):

@@ -27,7 +27,7 @@ works unchanged against every shard.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.allocation import AllocationPolicy
 from repro.core.server import ProcessControlServer
@@ -62,6 +62,9 @@ class _RoutedBoard:
 
     def read(self, app_id: str) -> Optional[int]:
         return self._board.read(app_id)
+
+    def read_app(self, app_id: str):
+        return self._board.read_app(app_id)
 
     def report_demand(self, app_id: str, backlog: int, now: int) -> None:
         self._board.report_demand(app_id, backlog, now)
@@ -104,6 +107,11 @@ class ControlPlane:
         interval / compute_cost / weights / policy: forwarded to every
             :class:`ProcessControlServer` (one shared policy instance --
             policies are stateless between rounds).
+        policy_factory: per-shard policy construction -- called once per
+            shard with the shard index and returning that shard's
+            :class:`~repro.core.allocation.AllocationPolicy`.  This is how
+            heterogeneous planes are built (e.g. a different weight table
+            per shard); mutually exclusive with *policy* and *weights*.
         name: base process name; shard *i* of a multi-shard plane is
             ``f"{name}-{i}"``.
     """
@@ -116,10 +124,15 @@ class ControlPlane:
         compute_cost: int = 500,
         weights: Optional[Mapping[str, float]] = None,
         policy: Optional[AllocationPolicy] = None,
+        policy_factory: Optional[Callable[[int], AllocationPolicy]] = None,
         name: str = "pc-server",
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if policy_factory is not None and (policy is not None or weights):
+            raise ValueError(
+                "policy_factory is mutually exclusive with policy/weights"
+            )
         self.kernel = kernel
         self.n_shards = shards
         self.name = name
@@ -131,7 +144,7 @@ class ControlPlane:
                 compute_cost=compute_cost,
                 weights=weights,
                 name=name if shards == 1 else f"{name}-{index}",
-                policy=policy,
+                policy=policy_factory(index) if policy_factory else policy,
             )
             if shards > 1:
                 server.bind_shard(self, index)
@@ -252,6 +265,10 @@ class ControlPlane:
                     self.assignment[app_id] = target
                     moves[app_id] = target
         if moves:
+            # Invalidate the shards' sparse-census views: the moved
+            # applications change which server's scan must count them.
+            for server in self.servers:
+                server.note_routing_moves(moves)
             self.kernel.trace.emit(
                 self.kernel.now, "plane.rebalance", moves=dict(moves)
             )

@@ -25,6 +25,7 @@ mechanism by which the paper's centralized bottleneck scales out.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.allocation import (
@@ -33,6 +34,7 @@ from repro.core.allocation import (
     EquipartitionPolicy,
     WeightedPolicy,
 )
+from repro.core.policy import IncrementalWaterFiller, partition_processors
 from repro.kernel import Kernel
 from repro.kernel import syscalls as sc
 from repro.kernel.ipc import Channel, ControlBoard
@@ -58,6 +60,15 @@ class ProcessControlServer:
             deciding each round's targets; defaults to the paper's
             :class:`~repro.core.allocation.EquipartitionPolicy`.
     """
+
+    #: Use :class:`~repro.kernel.syscalls.GetLoadSummary` + journal replay
+    #: instead of a full :class:`GetProcessTable` scan.  Same simulated
+    #: cost and bit-identical targets; host-side work per scan becomes
+    #: O(changes since the last scan) instead of O(processes).  A class
+    #: attribute so tests can flip every server back to the legacy table
+    #: scan (the differential baseline) in one place; instances may also
+    #: override it individually.
+    fast_scan = True
 
     def __init__(
         self,
@@ -105,6 +116,25 @@ class ProcessControlServer:
         # Shard binding (None = this server owns the whole machine).
         self._plane: Optional[Any] = None
         self._shard_index: int = 0
+        # --- Sparse-census scan state (see the fast_scan class attr) ----
+        self._census_cursor = 0
+        #: Machine-wide alive process totals per controllable application,
+        #: as of this server's journal cursor.
+        self._alive_view: Dict[str, int] = {}
+        #: The slice of ``_alive_view`` routed to this shard (aliases the
+        #: full view on an unsharded server).
+        self._my_apps: Dict[str, int] = self._alive_view
+        #: Applications seen in the journal before the plane routed them
+        #: (sharded only); reconciled -- in first-spawn order, matching
+        #: the table scan's assignment order -- at each scan.
+        self._unassigned: Dict[str, int] = {}
+        #: Sorted-cap structure mirroring ``_my_apps``; gives the default
+        #: equipartition rule O(log n) updates per application change.
+        self._filler = IncrementalWaterFiller()
+        #: Under REPRO_SANITIZE, re-derive every fast-scan round from
+        #: first principles (batch water-filling over a fresh snapshot)
+        #: and fail loudly on any divergence.
+        self._check_scans = bool(os.environ.get("REPRO_SANITIZE"))
 
     # ------------------------------------------------------------------
     # Sharding
@@ -119,6 +149,9 @@ class ProcessControlServer:
         """
         self._plane = plane
         self._shard_index = index
+        # A bound server's shard slice is a proper subset of the machine
+        # view, so it needs its own dict (unsharded servers alias them).
+        self._my_apps = {}
 
     @property
     def shard_index(self) -> int:
@@ -229,6 +262,164 @@ class ProcessControlServer:
         return process
 
     # ------------------------------------------------------------------
+    # Sparse-census scanning (journal replay)
+    # ------------------------------------------------------------------
+
+    def _replay_census(self, journal_len: int) -> None:
+        """Fold kernel census-journal entries ``[cursor, journal_len)``
+        into this server's views.  O(changes since the last scan)."""
+        entries = self.kernel.census_journal_entries(
+            self._census_cursor, journal_len
+        )
+        self._census_cursor = journal_len
+        plane = self._plane
+        if plane is None:
+            # Unsharded: _my_apps aliases _alive_view; one pass updates
+            # both, plus the sorted-cap structure.
+            view = self._alive_view
+            filler = self._filler
+            for app_id, total in entries:
+                if total > 0:
+                    view[app_id] = total
+                    filler.set_cap(app_id, total)
+                else:
+                    view.pop(app_id, None)
+                    filler.remove(app_id)
+            return
+        index = self._shard_index
+        assignment = plane.assignment
+        view = self._alive_view
+        mine = self._my_apps
+        unassigned = self._unassigned
+        filler = self._filler
+        for app_id, total in entries:
+            if total > 0:
+                view[app_id] = total
+            else:
+                view.pop(app_id, None)
+            shard = assignment.get(app_id)
+            if shard == index:
+                if total > 0:
+                    mine[app_id] = total
+                    filler.set_cap(app_id, total)
+                else:
+                    mine.pop(app_id, None)
+                    filler.remove(app_id)
+            elif shard is None:
+                if total > 0:
+                    unassigned[app_id] = total
+                else:
+                    unassigned.pop(app_id, None)
+
+    def _reconcile_unassigned(self, plane: Any) -> None:
+        """Route applications that appeared in the journal before the
+        plane assigned them a shard.
+
+        The table-scan path assigns unrouted applications as a side
+        effect of filtering each scan, in table (first-spawn) order; the
+        journal inserts them into ``_unassigned`` in the same order, so
+        replaying the round-robin here keeps the plane's assignment
+        sequence -- and therefore every shard's application set --
+        bit-identical to the legacy scan's.
+        """
+        if not self._unassigned:
+            return
+        index = self._shard_index
+        mine = self._my_apps
+        filler = self._filler
+        for app_id, total in list(self._unassigned.items()):
+            shard = plane.assignment.get(app_id)
+            if shard is None:
+                shard = plane.shard_of(app_id)
+            if shard == index:
+                mine[app_id] = total
+                filler.set_cap(app_id, total)
+            del self._unassigned[app_id]
+
+    def note_routing_moves(self, moves: Mapping[str, int]) -> None:
+        """Plane callback: applications were re-routed (rebalance,
+        failover, restart).  Patch this shard's views in place; totals
+        come from *this server's* journal cursor, so the views stay
+        internally consistent however far each shard's replay has got."""
+        if self._plane is None:
+            return
+        index = self._shard_index
+        mine = self._my_apps
+        filler = self._filler
+        for app_id, target in moves.items():
+            if target == index:
+                self._unassigned.pop(app_id, None)
+                total = self._alive_view.get(app_id)
+                if total:
+                    mine[app_id] = total
+                    filler.set_cap(app_id, total)
+            elif app_id in mine:
+                del mine[app_id]
+                filler.remove(app_id)
+
+    def _targets_from_summary(
+        self, summary: sc.LoadSummary, now: int
+    ) -> Dict[str, int]:
+        """One partitioning decision from a :class:`GetLoadSummary` reply
+        (the sparse sibling of :meth:`compute_targets`)."""
+        self._replay_census(summary.journal_len)
+        plane = self._plane
+        if plane is not None:
+            self._reconcile_unassigned(plane)
+            index = self._shard_index
+            capacity = plane.shard_capacity(index)
+            uncontrolled = plane.shard_uncontrolled(
+                index, summary.uncontrolled_runnable
+            )
+        else:
+            capacity = self.kernel.online_processor_count()
+            uncontrolled = summary.uncontrolled_runnable
+        policy = self.policy
+        if type(policy) is EquipartitionPolicy:
+            # The paper's default rule: O(log n) incremental water-filling
+            # against the sorted-cap structure the replay maintains.
+            targets = self._filler.targets(capacity, uncontrolled)
+        else:
+            targets = policy.allocate(
+                AllocationRequest(
+                    n_processors=capacity,
+                    uncontrolled_runnable=uncontrolled,
+                    app_totals=dict(self._my_apps),
+                    demands=self.board.demand_snapshot(),
+                    demand_reported_at=dict(self.board.demand_reported_at),
+                    now=now,
+                )
+            )
+        if self._check_scans:
+            self._check_fast_scan(targets, capacity, uncontrolled)
+        return targets
+
+    def _check_fast_scan(
+        self, targets: Dict[str, int], capacity: int, uncontrolled: int
+    ) -> None:
+        """REPRO_SANITIZE oracle: the incremental allocation must equal the
+        batch rule on the same inputs, and the replayed views must equal
+        the filler's.  (The census counters themselves are cross-checked
+        against a real table walk inside the kernel's syscall handler,
+        where both sides see the same instant.)"""
+        if type(self.policy) is EquipartitionPolicy:
+            batch = partition_processors(
+                capacity, uncontrolled, dict(self._my_apps)
+            )
+            if batch != targets:
+                raise AssertionError(
+                    "incremental water-filling diverged from the batch "
+                    f"oracle: incremental={targets} batch={batch} "
+                    f"caps={dict(self._my_apps)} capacity={capacity} "
+                    f"uncontrolled={uncontrolled}"
+                )
+        if self._filler.caps() != dict(self._my_apps):
+            raise AssertionError(
+                "sorted-cap structure diverged from the replayed census "
+                f"view: filler={self._filler.caps()} view={dict(self._my_apps)}"
+            )
+
+    # ------------------------------------------------------------------
     # The partitioning round
     # ------------------------------------------------------------------
 
@@ -303,10 +494,41 @@ class ProcessControlServer:
                         app_id=app_id,
                         root_pid=root_pid,
                     )
-            table = yield sc.GetProcessTable()
-            targets = self.compute_targets(table, self.kernel.now)
+            if self.fast_scan:
+                # Same snapshot instant and same simulated cost as the
+                # table scan below; the reply is O(1) counters plus a
+                # journal watermark, so the host-side round costs
+                # O(changes) instead of O(processes).
+                plane = self._plane
+                own_pids = (
+                    plane.server_pids() if plane is not None else {self.pid}
+                )
+                summary = yield sc.GetLoadSummary(
+                    exclude_pids=tuple(
+                        pid for pid in own_pids if pid is not None
+                    )
+                )
+                targets = self._targets_from_summary(summary, self.kernel.now)
+            else:
+                table = yield sc.GetProcessTable()
+                targets = self.compute_targets(table, self.kernel.now)
             yield sc.Compute(self.compute_cost)
-            self.board.post(targets, self.kernel.now)
+            if self.fast_scan:
+                # Sparse publish: patch only the entries that moved, so a
+                # quiet scan bumps no per-application dirty versions and
+                # readers can tell their entry did not change.
+                board_targets = self.board.targets
+                changes = {
+                    app_id: target
+                    for app_id, target in targets.items()
+                    if board_targets.get(app_id) != target
+                }
+                removals = tuple(
+                    app_id for app_id in board_targets if app_id not in targets
+                )
+                self.board.post_delta(changes, removals, self.kernel.now)
+            else:
+                self.board.post(targets, self.kernel.now)
             # Liveness word for the watchdog: a free shared-memory stamp
             # once per scan (never an event, so golden traces hold).
             self.board.beat(self.kernel.now)

@@ -11,7 +11,12 @@ from __future__ import annotations
 import argparse
 import os
 
-from repro.core.allocation import POLICY_ENV_VAR, POLICY_NAMES
+from repro.core.allocation import (
+    POLICY_ENV_VAR,
+    POLICY_NAMES,
+    WEIGHTS_ENV_VAR,
+    parse_weights,
+)
 from repro.core.plane import SHARDS_ENV_VAR
 from repro.experiments.parallel import JOBS_ENV_VAR
 from repro.faults.campaign import main as chaos_main
@@ -100,6 +105,16 @@ def main() -> None:
         "$REPRO_POLICY; 'space' requires the partition scheduler)",
     )
     parser.add_argument(
+        "--weights",
+        default=None,
+        metavar="SPEC",
+        help="per-application priority shares for the control servers, "
+        "e.g. 'fft=2,sort=0.5' (apps not named default to 1.0; "
+        "equivalent to setting $REPRO_WEIGHTS; ignored when an "
+        "explicit --policy/$REPRO_POLICY or a scenario-pinned policy "
+        "wins the resolution)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -132,6 +147,12 @@ def main() -> None:
         # Same env routing as --jobs: run_scenario resolves the policy for
         # every scenario that leaves Scenario.policy unset.
         os.environ[POLICY_ENV_VAR] = args.policy
+    if args.weights is not None:
+        try:
+            parse_weights(args.weights)  # fail fast, before any runs
+        except ValueError as exc:
+            parser.error(f"--weights: {exc}")
+        os.environ[WEIGHTS_ENV_VAR] = args.weights
     if args.shards is not None:
         if args.shards < 1:
             parser.error("--shards must be >= 1")

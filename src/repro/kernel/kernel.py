@@ -19,6 +19,7 @@ Mechanisms reproduced from the paper's platform:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional
@@ -29,6 +30,7 @@ from repro.kernel.process import (
     Process,
     ProcessState,
     RunnableProcessInfo,
+    RUNNABLE_STATES,
 )
 from repro.kernel import syscalls as sc
 from repro.kernel.scheduler.base import SchedulerPolicy
@@ -84,8 +86,14 @@ class Kernel:
         #: every event, so membership tests against ``_offline`` would be
         #: pure overhead on the (usual) healthy machine.
         self._dispatch_cpus = tuple(range(self.machine.n_processors))
+        #: Online processors with no current process.  The dispatch pass
+        #: visits these (ascending, matching the full scan's order) instead
+        #: of every online cpu, so a pass on a mostly-busy 1024-CPU machine
+        #: costs O(idle), not O(processors).  Maintained at the only two
+        #: sites that change ``Processor.current`` (_dispatch/_undispatch)
+        #: plus hot-plug.
+        self._idle_cpus = set(range(self.machine.n_processors))
         self._dispatch_scheduled = False
-        self._last_runnable: Optional[tuple] = None
         # Hot-path caches: the processor list never changes after
         # construction, and the per-cpu completion callbacks close over
         # nothing but the cpu index, so minting a fresh closure per
@@ -104,11 +112,46 @@ class Kernel:
         self._cb_quantum_expired = [
             partial(self._quantum_expired, c) for c in range(n)
         ]
-        # Trace-filter verdicts for the two highest-frequency categories.
+        # Trace-filter verdicts for the highest-frequency categories.
         # Filters are fixed at TraceLog construction, so deciding once here
-        # spares building (and discarding) a kwargs dict per dispatch/preempt.
-        self._want_dispatch_trace = self.trace.wants("kernel.dispatch")
-        self._want_preempt_trace = self.trace.wants("kernel.preempt")
+        # spares building (and discarding) a kwargs dict per event.
+        wants = self.trace.wants
+        self._want_dispatch_trace = wants("kernel.dispatch")
+        self._want_preempt_trace = wants("kernel.preempt")
+        self._want_block_trace = wants("kernel.block")
+        self._want_wake_trace = wants("kernel.wake")
+        self._want_spawn_trace = wants("kernel.spawn")
+        self._want_exit_trace = wants("kernel.exit")
+        self._want_yield_trace = wants("kernel.yield")
+        self._want_signal_trace = wants("kernel.signal")
+        self._want_spin_trace = wants("spin.wait")
+        self._want_runnable_trace = self.config.runnable_trace and wants(
+            "kernel.runnable"
+        )
+        # Sparse census: the runnable counts, the per-application alive
+        # totals, and the uncontrolled-runnable count are maintained
+        # incrementally at every state transition, so consumers (the
+        # runnable trace, the control server's load summaries) pay for
+        # what changed instead of scanning the whole process table.
+        self._runnable_total = 0
+        self._runnable_per_app: Dict[Optional[str], int] = {}
+        self._uncontrolled_runnable = 0
+        self._census_dirty = False
+        self._alive_total = 0
+        #: Every process (alive or dead) per application id, in spawn
+        #: order; backs :meth:`processes_of_app` without a table scan.
+        self._procs_by_app: Dict[str, List[Process]] = {}
+        #: Alive *controllable* process count per application id.
+        self._app_alive: Dict[str, int] = {}
+        #: Append-only change journal over ``_app_alive``: one
+        #: ``(app_id, new_total)`` entry per change.  Control servers keep
+        #: a cursor into it and replay only the tail on each scan
+        #: (:class:`repro.kernel.syscalls.GetLoadSummary`).
+        self._census_journal: List[tuple] = []
+        #: Under REPRO_SANITIZE, every load-summary syscall re-derives the
+        #: census counters from a real table walk at the same instant and
+        #: fails loudly on drift (the sparse-census oracle).
+        self._check_census = bool(os.environ.get("REPRO_SANITIZE"))
         # Policy methods called once or more per dispatch/quantum event.
         self._policy_enqueue = self.policy.enqueue
         self._policy_dequeue = self.policy.dequeue
@@ -159,14 +202,27 @@ class Kernel:
         process.state = ProcessState.READY
         process.ready_since = self.engine.now
         self.processes[pid] = process
+        if app_id is not None:
+            bucket = self._procs_by_app.get(app_id)
+            if bucket is None:
+                self._procs_by_app[app_id] = [process]
+            else:
+                bucket.append(process)
         if not daemon:
             self._alive_nondaemon += 1
             self.engine.done_hint = False
+        self._alive_total += 1
+        if controllable and app_id is not None:
+            t = self._app_alive.get(app_id, 0) + 1
+            self._app_alive[app_id] = t
+            self._census_journal.append((app_id, t))
+        self._census_gain(process)
         self.policy.on_process_spawn(process)
         self.policy.enqueue(process, "new")
-        self.trace.emit(
-            self.engine.now, "kernel.spawn", pid=pid, name=name, app_id=app_id
-        )
+        if self._want_spawn_trace:
+            self.trace.emit(
+                self.engine.now, "kernel.spawn", pid=pid, name=name, app_id=app_id
+            )
         self._note_runnable_change()
         self._request_dispatch()
         return process
@@ -176,16 +232,14 @@ class Kernel:
         return [p.info() for p in self.processes.values() if p.runnable]
 
     def runnable_count(self) -> int:
-        """Total runnable (READY + RUNNING) processes."""
-        return sum(1 for p in self.processes.values() if p.runnable)
+        """Total runnable (READY + RUNNING) processes (O(1): maintained
+        incrementally at every state transition)."""
+        return self._runnable_total
 
     def runnable_by_app(self) -> Dict[Optional[str], int]:
-        """Runnable process count per application id."""
-        counts: Dict[Optional[str], int] = {}
-        for p in self.processes.values():
-            if p.runnable:
-                counts[p.app_id] = counts.get(p.app_id, 0) + 1
-        return counts
+        """Runnable process count per application id (O(apps), not
+        O(processes): a copy of the incrementally-maintained census)."""
+        return dict(self._runnable_per_app)
 
     def alive_nondaemon_count(self) -> int:
         """Processes that keep an experiment alive (non-daemon, not exited).
@@ -197,8 +251,14 @@ class Kernel:
         return self._alive_nondaemon
 
     def processes_of_app(self, app_id: str) -> List[Process]:
-        """All (alive or dead) processes tagged with *app_id*."""
-        return [p for p in self.processes.values() if p.app_id == app_id]
+        """All (alive or dead) processes tagged with *app_id*.
+
+        Served from a spawn-ordered per-application index (spawn order ==
+        pid order == the order the old full-table scan produced); the scan
+        was O(processes) per call, which per-application reporting over
+        10k applications turns quadratic.
+        """
+        return list(self._procs_by_app.get(app_id, ()))
 
     def force_preempt(self, cpu: int) -> None:
         """Preempt whatever runs on *cpu* now (used by gang scheduling)."""
@@ -240,6 +300,7 @@ class Kernel:
         if self._processors[cpu].current is not None:
             self._preempt(cpu, reason="offline")
         self._offline.add(cpu)
+        self._idle_cpus.discard(cpu)
         self._dispatch_cpus = tuple(
             c for c in range(self.machine.n_processors) if c not in self._offline
         )
@@ -254,6 +315,7 @@ class Kernel:
         if cpu not in self._offline:
             return False
         self._offline.discard(cpu)
+        self._idle_cpus.add(cpu)
         self._dispatch_cpus = tuple(
             c for c in range(self.machine.n_processors) if c not in self._offline
         )
@@ -384,23 +446,67 @@ class Kernel:
         for cpu in range(self.machine.n_processors):
             self._mark(cpu, self._cpu[cpu].kind)
 
+    def _census_gain(self, process: Process) -> None:
+        """A process became runnable (READY/RUNNING): bump the counters."""
+        self._runnable_total += 1
+        app = process.app_id
+        per = self._runnable_per_app
+        per[app] = per.get(app, 0) + 1
+        if not process.controllable:
+            self._uncontrolled_runnable += 1
+        self._census_dirty = True
+
+    def _census_lose(self, process: Process) -> None:
+        """A process stopped being runnable: drop the counters."""
+        self._runnable_total -= 1
+        app = process.app_id
+        per = self._runnable_per_app
+        n = per[app] - 1
+        if n:
+            per[app] = n
+        else:
+            del per[app]
+        if not process.controllable:
+            self._uncontrolled_runnable -= 1
+        self._census_dirty = True
+
+    def _census_exit(self, process: Process) -> None:
+        """A process terminated: settle the alive totals and the journal."""
+        self._alive_total -= 1
+        app = process.app_id
+        if process.controllable and app is not None:
+            t = self._app_alive[app] - 1
+            if t:
+                self._app_alive[app] = t
+            else:
+                del self._app_alive[app]
+            self._census_journal.append((app, t))
+
+    def census_journal_entries(self, start: int, stop: int) -> List[tuple]:
+        """The ``(app_id, new_total)`` journal slice ``[start:stop)``."""
+        return self._census_journal[start:stop]
+
     def _note_runnable_change(self) -> None:
-        """Emit a trace record when the runnable census changes."""
-        if not self.config.runnable_trace or not self.trace.wants("kernel.runnable"):
+        """Emit a trace record when the runnable census changes.
+
+        The census itself is maintained incrementally (O(1) per state
+        transition); this only snapshots the per-app dict when a record is
+        actually wanted, so per-poll work scales with the number of
+        applications that exist, not with machine or table size.
+        """
+        if not self._want_runnable_trace or not self._census_dirty:
             return
-        per_app: Dict[str, int] = {}
-        total = 0
-        for p in self.processes.values():
-            if p.runnable:
-                total += 1
-                key = p.app_id if p.app_id is not None else "<none>"
-                per_app[key] = per_app.get(key, 0) + 1
-        snapshot = (total, tuple(sorted(per_app.items())))
-        if snapshot != self._last_runnable:
-            self._last_runnable = snapshot
-            self.trace.emit(
-                self.engine.now, "kernel.runnable", total=total, per_app=dict(per_app)
-            )
+        self._census_dirty = False
+        per_app = {
+            ("<none>" if app is None else app): n
+            for app, n in self._runnable_per_app.items()
+        }
+        self.trace.emit(
+            self.engine.now,
+            "kernel.runnable",
+            total=self._runnable_total,
+            per_app=per_app,
+        )
 
     # ------------------------------------------------------------------
     # Dispatch machinery
@@ -413,11 +519,36 @@ class Kernel:
 
     def _dispatch_pass(self) -> None:
         self._dispatch_scheduled = False
-        for cpu in self._dispatch_cpus:
+        idle = self._idle_cpus
+        if not idle:
+            return
+        if self._check_census:
+            actual = {
+                cpu
+                for cpu in self._dispatch_cpus
+                if self._processors[cpu].current is None
+            }
+            if idle != actual:
+                raise SimulationError(
+                    f"idle-cpu set drifted: tracked {sorted(idle)} "
+                    f"actual {sorted(actual)}"
+                )
+        # Ascending id order, exactly like the full scan the set replaces.
+        cpus = (
+            self._dispatch_cpus
+            if len(idle) == len(self._dispatch_cpus)
+            else sorted(idle)
+        )
+        shared = self.policy.shared_queue
+        for cpu in cpus:
             if self._processors[cpu].current is None:
                 process = self._policy_dequeue(cpu)
                 if process is not None:
                     self._dispatch(cpu, process)
+                elif shared:
+                    # One empty pull from a shared queue answers for every
+                    # remaining idle processor.
+                    return
 
     def _dispatch(self, cpu: int, process: Process) -> None:
         processor = self._processors[cpu]
@@ -446,6 +577,7 @@ class Kernel:
         process.cpu = cpu
         process.stats.dispatches += 1
         processor.current = process
+        self._idle_cpus.discard(cpu)
         processor.dispatches += 1
 
         self._mark(cpu, "overhead")
@@ -509,6 +641,8 @@ class Kernel:
             cpu, process.pid, now - state.stint_started
         )
         processor.current = None
+        if cpu not in self._offline:
+            self._idle_cpus.add(cpu)
         process.cpu = None
         process.last_cpu = cpu
         self._mark(cpu, "idle")
@@ -589,7 +723,11 @@ class Kernel:
         process.state = ProcessState.BLOCKED
         process.block_reason = reason
         process.blocked_since = self.engine.now
-        self.trace.emit(self.engine.now, "kernel.block", pid=process.pid, reason=reason)
+        self._census_lose(process)
+        if self._want_block_trace:
+            self.trace.emit(
+                self.engine.now, "kernel.block", pid=process.pid, reason=reason
+            )
         self._note_runnable_change()
         self._request_dispatch()
         return process
@@ -605,8 +743,10 @@ class Kernel:
         process.block_reason = None
         process.state = ProcessState.READY
         process.ready_since = self.engine.now
+        self._census_gain(process)
         self._policy_enqueue(process, "unblocked")
-        self.trace.emit(self.engine.now, "kernel.wake", pid=process.pid)
+        if self._want_wake_trace:
+            self.trace.emit(self.engine.now, "kernel.wake", pid=process.pid)
         self._note_runnable_change()
         self._request_dispatch()
 
@@ -618,9 +758,14 @@ class Kernel:
             self._alive_nondaemon -= 1
             if self._alive_nondaemon == 0:
                 self.engine.done_hint = True
+        self._census_lose(process)
+        self._census_exit(process)
         self.machine.cache.evict_process(process.pid)
         self.policy.on_process_exit(process)
-        self.trace.emit(self.engine.now, "kernel.exit", pid=process.pid, name=process.name)
+        if self._want_exit_trace:
+            self.trace.emit(
+                self.engine.now, "kernel.exit", pid=process.pid, name=process.name
+            )
         self._note_runnable_change()
         # Release joiners blocked in WaitPid on this process.
         joiners, process.join_waiters = process.join_waiters, []
@@ -640,7 +785,8 @@ class Kernel:
         tries to wake a corpse.
         """
         if process.state is ProcessState.READY:
-            pass  # the policy drops its queue entry in on_process_exit
+            # The policy drops its queue entry in on_process_exit.
+            self._census_lose(process)
         elif process.state is ProcessState.BLOCKED:
             self._detach_from_wait_list(process)
         else:
@@ -657,11 +803,13 @@ class Kernel:
             self._alive_nondaemon -= 1
             if self._alive_nondaemon == 0:
                 self.engine.done_hint = True
+        self._census_exit(process)
         self.machine.cache.evict_process(process.pid)
         self.policy.on_process_exit(process)
-        self.trace.emit(
-            self.engine.now, "kernel.exit", pid=process.pid, name=process.name
-        )
+        if self._want_exit_trace:
+            self.trace.emit(
+                self.engine.now, "kernel.exit", pid=process.pid, name=process.name
+            )
         self._note_runnable_change()
         joiners, process.join_waiters = process.join_waiters, []
         for joiner in joiners:
@@ -857,9 +1005,10 @@ class Kernel:
         state.segment_kind = "spin"
         state.segment_started = self.engine.now
         self._mark(cpu, "spin")
-        self.trace.emit(
-            self.engine.now, "spin.wait", lock=lock.name, pid=process.pid, cpu=cpu
-        )
+        if self._want_spin_trace:
+            self.trace.emit(
+                self.engine.now, "spin.wait", lock=lock.name, pid=process.pid, cpu=cpu
+            )
         return False
 
     def _sys_spin_release(
@@ -1068,9 +1217,10 @@ class Kernel:
             self._wake(target)
         else:
             target.pending_signals.append(syscall.payload)
-        self.trace.emit(
-            self.engine.now, "kernel.signal", src=process.pid, dst=syscall.pid
-        )
+        if self._want_signal_trace:
+            self.trace.emit(
+                self.engine.now, "kernel.signal", src=process.pid, dst=syscall.pid
+            )
         return self._finish_syscall(cpu, process, True, self.config.signal_cost)
 
     def _sys_fork(self, cpu: int, process: Process, syscall: sc.Fork) -> bool:
@@ -1108,7 +1258,8 @@ class Kernel:
         yielded.state = ProcessState.READY
         yielded.ready_since = self.engine.now
         self.policy.enqueue(yielded, "yield")
-        self.trace.emit(self.engine.now, "kernel.yield", pid=yielded.pid, cpu=cpu)
+        if self._want_yield_trace:
+            self.trace.emit(self.engine.now, "kernel.yield", pid=yielded.pid, cpu=cpu)
         self._request_dispatch()
         return False
 
@@ -1132,6 +1283,72 @@ class Kernel:
             + self.config.getrunnable_per_process_cost * len(table)
         )
         return self._finish_syscall(cpu, process, table, cost)
+
+    def _sys_get_load_summary(
+        self, cpu: int, process: Process, syscall: sc.GetLoadSummary
+    ) -> bool:
+        """The sparse-census sibling of :meth:`_sys_get_process_table`.
+
+        Snapshots the incrementally-maintained counters at syscall-entry
+        time (exactly when the table scan would have been taken) and
+        charges the same per-alive-process cost, so swapping a server from
+        the table call to this one leaves the simulated timeline
+        bit-identical while making the host-side scan O(changes).
+        """
+        uncontrolled = self._uncontrolled_runnable
+        for pid in syscall.exclude_pids:
+            p = self.processes.get(pid)
+            if (
+                p is not None
+                and not p.controllable
+                and p.state in RUNNABLE_STATES
+            ):
+                uncontrolled -= 1
+        alive = self._alive_total
+        if self._check_census:
+            self._verify_census(syscall.exclude_pids, uncontrolled, alive)
+        summary = sc.LoadSummary(
+            journal_len=len(self._census_journal),
+            uncontrolled_runnable=uncontrolled,
+            alive=alive,
+        )
+        cost = (
+            self.config.getrunnable_base_cost
+            + self.config.getrunnable_per_process_cost * alive
+        )
+        return self._finish_syscall(cpu, process, summary, cost)
+
+    def _verify_census(
+        self, exclude_pids: tuple, uncontrolled: int, alive: int
+    ) -> None:
+        """Sparse-census oracle (REPRO_SANITIZE): the incremental counters
+        and the journal-replayed per-application totals must agree with a
+        full table walk taken at this very instant."""
+        walk_alive = 0
+        walk_uncontrolled = 0
+        walk_totals: Dict[str, int] = {}
+        excluded = set(exclude_pids)
+        for p in self.processes.values():
+            if not p.alive:
+                continue
+            walk_alive += 1
+            if p.controllable:
+                if p.app_id is not None:
+                    walk_totals[p.app_id] = walk_totals.get(p.app_id, 0) + 1
+            elif p.state in RUNNABLE_STATES and p.pid not in excluded:
+                walk_uncontrolled += 1
+        replayed = {a: t for a, t in self._app_alive.items() if t > 0}
+        if (
+            walk_alive != alive
+            or walk_uncontrolled != uncontrolled
+            or walk_totals != replayed
+        ):
+            raise SimulationError(
+                "sparse census diverged from the process table: "
+                f"alive {alive} vs {walk_alive}, uncontrolled "
+                f"{uncontrolled} vs {walk_uncontrolled}, per-app "
+                f"{replayed} vs {walk_totals}"
+            )
 
     def _sys_set_no_preempt(
         self, cpu: int, process: Process, syscall: sc.SetNoPreempt
@@ -1213,6 +1430,7 @@ class Kernel:
         sc.Yield: _sys_yield,
         sc.GetRunnableInfo: _sys_get_runnable,
         sc.GetProcessTable: _sys_get_process_table,
+        sc.GetLoadSummary: _sys_get_load_summary,
         sc.SetNoPreempt: _sys_set_no_preempt,
         sc.ChannelSend: _sys_channel_send,
         sc.ChannelReceive: _sys_channel_receive,

@@ -31,6 +31,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 class SchedulerPolicy(ABC):
     """Base class for kernel scheduling policies."""
 
+    #: True when :meth:`dequeue` ignores *cpu* entirely AND is free of
+    #: observable side effects when it returns ``None`` -- i.e. one
+    #: ``None`` proves every other processor would get ``None`` too.  The
+    #: kernel's dispatch pass then stops at the first empty pull instead
+    #: of polling all (up to 1024) idle processors.  Per-processor
+    #: policies (partition, strict affinity) and policies whose failed
+    #: pulls mutate state (gang rotation, miss counters) must leave this
+    #: False.
+    shared_queue = False
+
     def __init__(self) -> None:
         self.kernel: Optional["Kernel"] = None
 

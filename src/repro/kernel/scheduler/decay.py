@@ -53,6 +53,8 @@ class PriorityDecayScheduler(SchedulerPolicy):
         half_life: usage halves every this many microseconds of wall time.
     """
 
+    shared_queue = True
+
     def __init__(self, half_life: int = units.seconds(15)) -> None:
         super().__init__()
         if half_life <= 0:

@@ -21,6 +21,8 @@ from repro.kernel.scheduler.base import SchedulerPolicy
 class FifoScheduler(SchedulerPolicy):
     """Single shared FIFO run queue (the paper's baseline kernel policy)."""
 
+    shared_queue = True
+
     def __init__(self) -> None:
         super().__init__()
         self._queue: Deque[Process] = deque()

@@ -32,6 +32,8 @@ from repro.kernel.scheduler.base import SchedulerPolicy
 class NoPreemptAwareScheduler(SchedulerPolicy):
     """FIFO queue that skips doomed spinners; pairs with no-preempt flags."""
 
+    shared_queue = True
+
     def __init__(self) -> None:
         super().__init__()
         self._queue: Deque[Process] = deque()

@@ -54,6 +54,10 @@ class CacheModel:
         self.enabled = enabled
         # _warmth[cpu][pid] -> fraction of pid's working set resident on cpu.
         self._warmth: List[Dict[int, float]] = [{} for _ in range(n_processors)]
+        # Reverse index: pid -> cpus whose warmth table mentions it, so
+        # eviction and warmest-cpu lookups touch the processors a process
+        # actually ran on instead of sweeping all 1024.
+        self._resident: Dict[int, set] = {}
 
     def warmth(self, cpu: int, pid: int) -> float:
         """Current warmth of process *pid* on processor *cpu* (0 if unknown)."""
@@ -88,14 +92,27 @@ class CacheModel:
                 dead.append(other_pid)
             else:
                 table[other_pid] = cooled
+        resident = self._resident
         for other_pid in dead:
             del table[other_pid]
+            cpus = resident.get(other_pid)
+            if cpus is not None:
+                cpus.discard(cpu)
+                if not cpus:
+                    del resident[other_pid]
         table[pid] = min(1.0, table.get(pid, 0.0) + gained)
+        cpus = resident.get(pid)
+        if cpus is None:
+            resident[pid] = {cpu}
+        else:
+            cpus.add(cpu)
 
     def evict_process(self, pid: int) -> None:
-        """Forget a terminated process on every processor."""
-        for table in self._warmth:
-            table.pop(pid, None)
+        """Forget a terminated process on every processor it visited."""
+        cpus = self._resident.pop(pid, None)
+        if cpus:
+            for cpu in cpus:
+                self._warmth[cpu].pop(pid, None)
 
     def resident_processes(self, cpu: int) -> Dict[int, float]:
         """Snapshot of warmth on *cpu* (for tests and diagnostics)."""
@@ -108,7 +125,9 @@ class CacheModel:
         """
         best_cpu = None
         best_warmth = 0.0
-        for cpu in range(self.n_processors):
+        # Ascending cpu order (like the full sweep this replaces) keeps
+        # the strictly-greater tie-break deterministic.
+        for cpu in sorted(self._resident.get(pid, ())):
             warmth = self._warmth[cpu].get(pid, 0.0)
             if warmth > best_warmth:
                 best_warmth = warmth

@@ -88,16 +88,28 @@ def runnable_series_from_trace(
     """
     total = StepSeries()
     per_app: Dict[str, StepSeries] = {}
+    # Dropout detection compares consecutive records instead of scanning
+    # every application per record: an application whose series last read
+    # nonzero must have been present in the *previous* record (that is
+    # where the nonzero value came from), so the previous key set is the
+    # only place a dropout can hide.  Keeps reconstruction linear in total
+    # record volume -- the Figure 5 reader used to be O(records x apps),
+    # which a 10k-application trace turns into minutes.
+    prev_counts: Dict[str, int] = {}
     for record in trace.records("kernel.runnable"):
+        time = record.time
         counts: Dict[str, int] = record.data["per_app"]
-        total.append(record.time, record.data["total"])
+        total.append(time, record.data["total"])
         for app_id, count in counts.items():
             series = per_app.get(app_id)
             if series is None:
                 series = StepSeries()
                 per_app[app_id] = series
-            series.append(record.time, count)
-        for app_id, series in per_app.items():
-            if app_id not in counts and series.points and series.points[-1][1] != 0:
-                series.append(record.time, 0)
+            series.append(time, count)
+        for app_id in prev_counts:
+            if app_id not in counts:
+                points = per_app[app_id]._points
+                if points and points[-1][1] != 0:
+                    per_app[app_id].append(time, 0)
+        prev_counts = counts
     return total, per_app

@@ -643,7 +643,7 @@ class SchedSanitizer:
         engine = self.kernel.engine
         now = engine.now
         live = 0
-        for time, _seq, handle in engine._heap:
+        for time, handle in engine.calendar_entries():
             if handle.callback is None:
                 continue
             live += 1

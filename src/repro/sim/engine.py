@@ -1,16 +1,25 @@
 """The discrete-event engine.
 
-The engine owns the simulation clock and an event calendar (a binary heap).
-Events are plain callbacks scheduled for an absolute or relative time; ties
-are broken by insertion order so runs are exactly reproducible.
+The engine owns the simulation clock and an event calendar.  Events are
+plain callbacks scheduled for an absolute or relative time; ties are broken
+by insertion order so runs are exactly reproducible.
 
-Hot-path layout: the heap stores plain ``(time, seq, handle)`` tuples, so
-ordering is decided by C-level tuple comparison on the integers -- no
-Python ``__lt__`` call per sift step.  Cancellation stays O(1) and lazy
-(the entry is skipped when it surfaces); a live-event counter keeps
-:attr:`Engine.pending_count` O(1), and the calendar is compacted when
-cancelled entries outnumber live ones so pathological cancel traffic
-cannot bloat the heap.
+Hot-path layout: the calendar is *slot-batched*.  A binary heap orders the
+distinct pending timestamps (bare ints, so sifting is C-level integer
+comparison), and a dict maps each timestamp to its *slot*: either a single
+:class:`EventHandle` (the overwhelmingly common case at paper scale) or a
+*cohort* -- a list of handles for that instant, in insertion order.  The
+run loops pop a timestamp once and then drain the whole cohort by list
+index, so N events at one instant cost one heap operation instead of N,
+and a zero-delay schedule appends to the live cohort without touching the
+heap at all.  Sequence numbers are assigned monotonically, which makes
+insertion order and seq order the same thing; no per-event tuple is ever
+built.
+
+Cancellation stays O(1) and lazy (the entry is skipped when it surfaces); a
+live-event counter keeps :attr:`Engine.pending_count` O(1), and the
+calendar is compacted when cancelled entries outnumber live ones so
+pathological cancel traffic cannot bloat the slot table.
 
 Nothing in this module knows about processors, processes, or scheduling --
 those live in :mod:`repro.machine` and :mod:`repro.kernel`.
@@ -20,11 +29,11 @@ from __future__ import annotations
 
 import heapq
 from heapq import heappop as _heappop, heappush as _heappush
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional, Tuple
 
-#: Compaction threshold: rebuild the heap when it holds more than this many
-#: cancelled entries *and* they outnumber the live ones.  Small heaps are
-#: never worth compacting.
+#: Compaction threshold: rebuild the slot table when it holds more than
+#: this many cancelled entries *and* they outnumber the live ones.  Small
+#: calendars are never worth compacting.
 _COMPACT_MIN_GARBAGE = 256
 
 
@@ -39,7 +48,7 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
-    The engine never removes cancelled events from the heap eagerly; it
+    The engine never removes cancelled events from the calendar eagerly; it
     simply skips them when they surface.  This makes :meth:`cancel` O(1).
     """
 
@@ -157,6 +166,16 @@ class Engine:
 
     ``now`` and ``events_fired`` are plain attributes (hot paths read them
     millions of times per run); treat them as read-only.
+
+    Calendar invariants (see the module docstring for the layout):
+
+    * ``_slots[t]`` is either one ``EventHandle`` or a list of them in
+      seq order; ``_times`` holds each key of ``_slots`` exactly once.
+    * ``_cur_slot`` is the cohort currently being drained.  It has been
+      popped from ``_slots``/``_times``; entries before ``_cur_index`` are
+      consumed.  It is *kept* after exhaustion so a schedule at the current
+      timestamp appends to it (preserving FIFO) instead of re-entering the
+      heap; singleton firings update ``_cur_time`` only.
     """
 
     def __init__(self) -> None:
@@ -170,8 +189,15 @@ class Engine:
         #: consulting again.  Ignored unless the caller opts in.
         self.done_hint = True
         self._seq = 0
-        self._heap: list = []  # (time, seq, EventHandle) tuples
+        #: Heap of distinct pending timestamps (bare ints).
+        self._times: list = []
+        #: timestamp -> EventHandle (singleton) or list of EventHandles.
+        self._slots: dict = {}
+        self._cur_slot: Optional[list] = None
+        self._cur_index = 0
+        self._cur_time = -1
         self._live = 0  # scheduled, not yet fired, not cancelled
+        self._size = 0  # calendar entries not yet consumed (incl. cancelled)
         self._running = False
 
     @property
@@ -203,8 +229,20 @@ class Engine:
         handle.cancelled = False
         handle.label = label
         handle._engine = self
-        _heappush(self._heap, (time, seq, handle))
+        if time == self._cur_time and self._cur_slot is not None:
+            self._cur_slot.append(handle)
+        else:
+            slots = self._slots
+            slot = slots.get(time)
+            if slot is None:
+                slots[time] = handle
+                _heappush(self._times, time)
+            elif slot.__class__ is list:
+                slot.append(handle)
+            else:
+                slots[time] = [slot, handle]
         self._live += 1
+        self._size += 1
         return handle
 
     def schedule_at(
@@ -224,8 +262,20 @@ class Engine:
         handle.cancelled = False
         handle.label = label
         handle._engine = self
-        _heappush(self._heap, (time, seq, handle))
+        if time == self._cur_time and self._cur_slot is not None:
+            self._cur_slot.append(handle)
+        else:
+            slots = self._slots
+            slot = slots.get(time)
+            if slot is None:
+                slots[time] = handle
+                _heappush(self._times, time)
+            elif slot.__class__ is list:
+                slot.append(handle)
+            else:
+                slots[time] = [slot, handle]
         self._live += 1
+        self._size += 1
         return handle
 
     def schedule_every(
@@ -245,43 +295,120 @@ class Engine:
         """
         return RepeatingEvent(self, period, callback, label, until)
 
+    def calendar_entries(self) -> Iterator[Tuple[int, EventHandle]]:
+        """Yield ``(time, handle)`` for every un-consumed calendar entry,
+        cancelled ones included, in no particular order.
+
+        Diagnostics only (the sanitizer's calendar invariants); the hot
+        loops never call this.
+        """
+        cur = self._cur_slot
+        if cur is not None:
+            time = self._cur_time
+            for idx in range(self._cur_index, len(cur)):
+                yield time, cur[idx]
+        for time, slot in self._slots.items():
+            if slot.__class__ is list:
+                for handle in slot:
+                    yield time, handle
+            else:
+                yield time, slot
+
     def _note_cancel(self) -> None:
         """A live entry became garbage; compact if garbage dominates."""
         self._live -= 1
-        garbage = len(self._heap) - self._live
+        garbage = self._size - self._live
         if garbage > _COMPACT_MIN_GARBAGE and garbage > self._live:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (preserves tuple order).
+        """Drop cancelled entries from the slot table and rebuild the time
+        heap (insertion order within each cohort is untouched).
 
-        Mutates the heap IN PLACE: :meth:`run_until_done` holds a local
-        binding to the list across callbacks (one of which may be the
-        cancel that triggers this compaction), so the list object's
-        identity must survive.
+        Mutates the time heap and slot dict IN PLACE: :meth:`run_until_done`
+        holds local bindings to both across callbacks (one of which may be
+        the cancel that triggers this compaction), so the objects'
+        identities must survive.  The cohort currently being drained is
+        deliberately left alone -- the run loops hold a position in it, and
+        its garbage is consumed within the current instant anyway.
         """
-        self._heap[:] = [entry for entry in self._heap if entry[2].callback is not None]
-        heapq.heapify(self._heap)
+        slots = self._slots
+        dead_times = []
+        size = 0
+        for time, slot in slots.items():
+            if slot.__class__ is list:
+                live = [h for h in slot if h.callback is not None]
+                if live:
+                    if len(live) != len(slot):
+                        slot[:] = live
+                    size += len(live)
+                else:
+                    dead_times.append(time)
+            elif slot.callback is not None:
+                size += 1
+            else:
+                dead_times.append(time)
+        for time in dead_times:
+            del slots[time]
+        self._times[:] = slots.keys()
+        heapq.heapify(self._times)
+        cur = self._cur_slot
+        if cur is not None:
+            size += len(cur) - self._cur_index
+        self._size = size
 
     def step(self) -> bool:
         """Fire the single next event.
 
         Returns ``True`` if an event was fired, ``False`` if the calendar is
         empty (skipping over cancelled events does not count as firing).
+        May not be called from inside an event callback (the run loops own
+        the drain position).
         """
-        heap = self._heap
-        while heap:
-            time, _seq, handle = _heappop(heap)
-            callback = handle.callback
-            if callback is None:  # cancelled; skip lazily
-                continue
-            self.now = time
-            handle.callback = None  # the event is consumed; free the closure
-            self._live -= 1
-            self.events_fired += 1
-            callback()
-            return True
-        return False
+        if self._running:
+            raise SimulationError("step() called re-entrantly from a callback")
+        return self._step()
+
+    def _step(self) -> bool:
+        times = self._times
+        slots = self._slots
+        while True:
+            cur = self._cur_slot
+            i = self._cur_index
+            if cur is not None and i < len(cur):
+                handle = cur[i]
+                self._cur_index = i + 1
+                self._size -= 1
+                callback = handle.callback
+                if callback is None:  # cancelled; skip lazily
+                    continue
+                self.now = self._cur_time
+                handle.callback = None  # the event is consumed; free the closure
+                self._live -= 1
+                self.events_fired += 1
+                callback()
+                return True
+            if times:
+                time = _heappop(times)
+                slot = slots.pop(time)
+                if slot.__class__ is list:
+                    self._cur_slot = slot
+                    self._cur_index = 0
+                    self._cur_time = time
+                    continue
+                # Singleton slot: fire without any cohort bookkeeping.
+                self._cur_time = time
+                self._size -= 1
+                callback = slot.callback
+                if callback is None:
+                    continue
+                self.now = time
+                slot.callback = None
+                self._live -= 1
+                self.events_fired += 1
+                callback()
+                return True
+            return False
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the calendar is empty.
@@ -297,10 +424,10 @@ class Engine:
         fired = 0
         try:
             if max_events is None:
-                while self.step():
+                while self._step():
                     fired += 1
             else:
-                while fired < max_events and self.step():
+                while fired < max_events and self._step():
                     fired += 1
                 if fired >= max_events and self._next_pending_time() is not None:
                     raise SimulationError(
@@ -334,7 +461,7 @@ class Engine:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
-                self.step()
+                self._step()
                 fired += 1
         finally:
             self._running = False
@@ -354,7 +481,7 @@ class Engine:
         The predicate is consulted before every event, exactly as a caller
         looping over :meth:`step` would -- this method exists because that
         outer loop is the hottest frame of a whole-experiment run, and
-        fusing it with the heap pop removes one Python call per event.
+        fusing it with the cohort drain removes one Python call per event.
 
         With ``exit_gated=True`` the caller promises that *done()* can only
         be true while :attr:`done_hint` is set (the kernel maintains the
@@ -371,39 +498,80 @@ class Engine:
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
-        heap = self._heap
+        times = self._times
+        slots = self._slots
         pop = _heappop
         ungated = not exit_gated
+        unbounded_events = max_events is None
+        untimed = max_time is None
+        # The drain position lives in locals across events (callbacks may
+        # *append* to the current cohort -- same list object, so the length
+        # re-check per iteration sees it -- but only this loop, step(), and
+        # _next_pending_time() move the position, and none of them can run
+        # re-entrantly).  ``_cur_index`` is synced back before every
+        # callback so diagnostics (calendar_entries) stay exact.
+        cur = self._cur_slot
+        i = self._cur_index
+        cur_time = self._cur_time
         fired = 0
         try:
             while not ((ungated or self.done_hint) and done()):
-                if max_events is not None and fired >= max_events:
+                if not unbounded_events and fired >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")
-                # -- inlined step() --
-                while heap:
-                    time, _seq, handle = pop(heap)
-                    callback = handle.callback
-                    if callback is None:  # cancelled; skip lazily
-                        continue
-                    self.now = time
-                    handle.callback = None
-                    self._live -= 1
-                    fired += 1
-                    callback()
-                    break
-                else:
-                    if done():  # defensive re-check, mirroring step() callers
+                # -- inlined _step(): drain the current cohort by index,
+                # falling back to one heap pop per distinct timestamp --
+                while True:
+                    if cur is not None and i < len(cur):
+                        handle = cur[i]
+                        i += 1
+                        self._size -= 1
+                        callback = handle.callback
+                        if callback is None:  # cancelled; skip lazily
+                            continue
+                        self._cur_index = i
+                        self.now = cur_time
+                        handle.callback = None
+                        self._live -= 1
+                        fired += 1
+                        callback()
                         break
+                    if times:
+                        self._cur_index = i
+                        time = pop(times)
+                        slot = slots.pop(time)
+                        if slot.__class__ is list:
+                            self._cur_slot = cur = slot
+                            self._cur_index = i = 0
+                            self._cur_time = cur_time = time
+                            continue
+                        # Singleton slot: fire with no cohort bookkeeping.
+                        # ``_cur_time`` still advances so a zero-delay
+                        # schedule from the callback appends to the (kept,
+                        # exhausted) cohort list and fires at this instant.
+                        self._cur_time = cur_time = time
+                        self._size -= 1
+                        callback = slot.callback
+                        if callback is None:
+                            continue
+                        self.now = time
+                        slot.callback = None
+                        self._live -= 1
+                        fired += 1
+                        callback()
+                        break
+                    if done():  # defensive re-check, mirroring step() callers
+                        return fired
                     raise SimulationError(
                         "event calendar empty but the completion predicate "
                         "is still false: the workload is deadlocked"
                     )
-                if max_time is not None and self.now > max_time:
+                if not untimed and self.now > max_time:
                     raise SimulationError(
                         f"simulated time exceeded max_time={max_time}us"
                     )
         finally:
             self._running = False
+            self._cur_index = i
             # events_fired is tallied per run rather than per event --
             # nothing observes it mid-run, and the loop above is the
             # hottest code in the tree.
@@ -411,10 +579,39 @@ class Engine:
         return fired
 
     def _next_pending_time(self) -> Optional[int]:
-        """Time of the next live event, discarding cancelled heap entries."""
-        heap = self._heap
-        while heap and heap[0][2].callback is None:
-            heapq.heappop(heap)
-        if not heap:
-            return None
-        return heap[0][0]
+        """Time of the next live event, discarding cancelled entries that
+        surface at the head of the calendar (mirrors what the run loops
+        would skip)."""
+        cur = self._cur_slot
+        if cur is not None:
+            i = self._cur_index
+            n = len(cur)
+            while i < n and cur[i].callback is None:
+                i += 1
+            self._size -= i - self._cur_index
+            self._cur_index = i
+            if i < n:
+                return self._cur_time
+        times = self._times
+        slots = self._slots
+        while times:
+            time = times[0]
+            slot = slots[time]
+            if slot.__class__ is list:
+                if slot[0].callback is not None:
+                    return time
+                live = [h for h in slot if h.callback is not None]
+                if live:
+                    self._size -= len(slot) - len(live)
+                    slot[:] = live
+                    return time
+                _heappop(times)
+                del slots[time]
+                self._size -= len(slot)
+            else:
+                if slot.callback is not None:
+                    return time
+                _heappop(times)
+                del slots[time]
+                self._size -= 1
+        return None

@@ -15,9 +15,11 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.allocation import (
     POLICY_ENV_VAR,
+    WEIGHTS_ENV_VAR,
     AllocationPolicy,
     SpaceAwarePolicy,
     make_policy,
+    parse_weights,
 )
 from repro.core.plane import SHARDS_ENV_VAR, ControlPlane
 from repro.faults.plan import FAULTS_ENV_VAR, FaultPlan
@@ -275,6 +277,14 @@ def run_scenario(
     server: Optional[ControlPlane] = None
     if "centralized" in app_controls:
         policy = _resolve_policy(scenario, kernel)
+        # A weight table only engages when nothing else won the policy
+        # resolution: an explicit policy (scenario or $REPRO_POLICY) keeps
+        # priority, weighted-by-default would silently change every run.
+        weights = None
+        if policy is None:
+            weights_spec = os.environ.get(WEIGHTS_ENV_VAR) or None
+            if weights_spec:
+                weights = parse_weights(weights_spec)
         shards = scenario.shards
         if shards is None:
             shards = int(os.environ.get(SHARDS_ENV_VAR) or 1)
@@ -283,6 +293,7 @@ def run_scenario(
             shards=shards,
             interval=scenario.server_interval,
             policy=policy,
+            weights=weights,
         )
         server.start()
         if sanitizer is not None:

@@ -1,0 +1,137 @@
+"""The incremental-vs-batch water-filling oracle.
+
+:class:`repro.core.policy.IncrementalWaterFiller` must be bit-identical to
+the batch :func:`repro.core.policy.partition_processors` (equal weights) on
+every (caps, pool) snapshot -- the control server's fast path depends on
+it.  These tests drive the two against each other over randomized static
+snapshots and randomized arrival/departure/resize churn, plus the closed
+forms the incremental implementation reasons with.
+"""
+
+import random
+
+import pytest
+
+from repro.core.policy import IncrementalWaterFiller, partition_processors
+
+
+def batch(n_processors, uncontrolled, caps):
+    if not caps:
+        return {}
+    return partition_processors(n_processors, uncontrolled, caps)
+
+
+class TestClosedForms:
+    def test_empty(self):
+        filler = IncrementalWaterFiller()
+        assert filler.targets(16, 0) == {}
+        assert len(filler) == 0
+
+    def test_paper_worked_example(self):
+        # Section 5: 8 processors, 2 uncontrollable, caps 2/6/6 -> 2/2/2.
+        filler = IncrementalWaterFiller()
+        filler.set_cap("a", 2)
+        filler.set_cap("b", 6)
+        filler.set_cap("c", 6)
+        assert filler.targets(8, 2) == {"a": 2, "b": 2, "c": 2}
+
+    def test_overcommit_floor(self):
+        # More applications than processors: everyone still gets 1.
+        filler = IncrementalWaterFiller()
+        for i in range(10):
+            filler.set_cap(f"app{i}", 3)
+        targets = filler.targets(4, 0)
+        assert all(t == 1 for t in targets.values())
+        assert len(targets) == 10
+
+    def test_capacity_flows_to_big_apps(self):
+        filler = IncrementalWaterFiller()
+        filler.set_cap("small", 1)
+        filler.set_cap("big", 100)
+        assert filler.targets(16, 0) == {"small": 1, "big": 15}
+
+    def test_truncation_bonus_goes_to_last_ids(self):
+        # 3 apps above the level and extras=2: the batch loop's floor
+        # remainders land on the lexicographically-last cap-tied apps.
+        caps = {"a": 5, "b": 5, "c": 5}
+        filler = IncrementalWaterFiller()
+        for app_id, cap in caps.items():
+            filler.set_cap(app_id, cap)
+        for available in range(1, 16):
+            assert filler.targets(available, 0) == batch(available, 0, caps), (
+                f"available={available}"
+            )
+
+    def test_set_cap_update_and_remove(self):
+        filler = IncrementalWaterFiller()
+        filler.set_cap("a", 4)
+        filler.set_cap("a", 9)  # resize, not duplicate
+        assert len(filler) == 1
+        assert filler.caps() == {"a": 9}
+        assert filler.remove("a") is True
+        assert filler.remove("a") is False
+        assert filler.targets(8, 0) == {}
+
+    def test_rejects_empty_application(self):
+        filler = IncrementalWaterFiller()
+        with pytest.raises(ValueError):
+            filler.set_cap("a", 0)
+
+    def test_cap_growth_past_tree_limit(self):
+        # Force repeated Fenwick re-grows and check against batch.
+        filler = IncrementalWaterFiller()
+        caps = {}
+        for i, cap in enumerate([1, 3, 17, 120, 1025, 7000]):
+            app_id = f"g{i}"
+            filler.set_cap(app_id, cap)
+            caps[app_id] = cap
+            assert filler.targets(1024, 3) == batch(1024, 3, caps)
+
+
+class TestRandomizedOracle:
+    def test_static_snapshots(self):
+        rng = random.Random(0xF111)
+        for round_no in range(300):
+            n_apps = rng.randint(0, 40)
+            caps = {
+                f"app{i:02d}": rng.randint(1, rng.choice((4, 40, 400)))
+                for i in range(n_apps)
+            }
+            n_processors = rng.randint(1, 256)
+            uncontrolled = rng.randint(0, 64)
+            filler = IncrementalWaterFiller()
+            for app_id, cap in caps.items():
+                filler.set_cap(app_id, cap)
+            assert filler.targets(n_processors, uncontrolled) == batch(
+                n_processors, uncontrolled, caps
+            ), f"round {round_no}: caps={caps}"
+
+    def test_churn(self):
+        """One persistent filler vs fresh batch snapshots across arrivals,
+        departures, and cap changes -- the control server's actual usage."""
+        rng = random.Random(0xC4A2)
+        filler = IncrementalWaterFiller()
+        caps = {}
+        next_id = 0
+        for step in range(2000):
+            action = rng.random()
+            if action < 0.4 or not caps:
+                app_id = f"app{next_id}"
+                next_id += 1
+                caps[app_id] = rng.randint(1, 200)
+                filler.set_cap(app_id, caps[app_id])
+            elif action < 0.7:
+                app_id = rng.choice(sorted(caps))
+                caps[app_id] = rng.randint(1, 200)
+                filler.set_cap(app_id, caps[app_id])
+            else:
+                app_id = rng.choice(sorted(caps))
+                del caps[app_id]
+                assert filler.remove(app_id)
+            if step % 7 == 0:
+                n_processors = rng.randint(1, 512)
+                uncontrolled = rng.randint(0, 32)
+                assert filler.targets(n_processors, uncontrolled) == batch(
+                    n_processors, uncontrolled, caps
+                ), f"step {step}"
+        assert filler.caps() == caps

@@ -215,3 +215,110 @@ def test_compaction_during_run_keeps_future_events():
     engine.schedule(1, cancel_all)
     engine.run_until_done(lambda: bool(fired), max_events=1000)
     assert fired == [6]
+
+
+def test_same_timestamp_cohort_fires_in_seq_order():
+    """A large same-timestamp cohort drains strictly in insertion (seq)
+    order, including entries appended to the cohort by its own callbacks
+    at zero delay."""
+    engine = Engine()
+    order = []
+
+    def late(tag):
+        order.append(tag)
+
+    def early(tag):
+        order.append(tag)
+        # Zero-delay schedules from inside the draining cohort must land
+        # behind the already-scheduled entries of the same instant.
+        engine.schedule(0, lambda t=f"zero-{tag}": order.append(t))
+
+    for i in range(5):
+        engine.schedule(50, lambda t=f"a{i}": early(t))
+    for i in range(5):
+        engine.schedule(50, lambda t=f"b{i}": late(t))
+    engine.run()
+    assert order == (
+        [f"a{i}" for i in range(5)]
+        + [f"b{i}" for i in range(5)]
+        + [f"zero-a{i}" for i in range(5)]
+    )
+    assert engine.now == 50
+
+
+def test_cohort_ordering_survives_interleaved_cancels():
+    """Cancelling every other member of a same-timestamp cohort leaves the
+    survivors firing in their original insertion order."""
+    engine = Engine()
+    order = []
+    handles = [
+        engine.schedule(10, lambda i=i: order.append(i)) for i in range(20)
+    ]
+    for i in range(0, 20, 2):
+        handles[i].cancel()
+    engine.run()
+    assert order == list(range(1, 20, 2))
+
+
+def test_compaction_under_cancel_heavy_repeating_churn():
+    """RepeatingEvent churn (arm, fire, cancel, re-arm) with mass
+    cancellation keeps the calendar compacted: garbage never dominates the
+    live entries by more than the compaction threshold, and the survivors
+    keep firing on schedule."""
+    engine = Engine()
+    fired = []
+    repeaters = [
+        engine.schedule_every(
+            7 + (i % 5), (lambda i=i: fired.append(i)), label=f"rep{i}"
+        )
+        for i in range(40)
+    ]
+    cancelled = set()
+
+    def churn():
+        # Cancel a wave of repeaters each tick; each cancel orphans that
+        # repeater's armed calendar entry as garbage.
+        for i in range(len(repeaters)):
+            if len(cancelled) >= 36:
+                break
+            if i not in cancelled:
+                cancelled.add(i)
+                repeaters[i].cancel()
+                break
+        # And spray short-lived one-shots that are cancelled immediately,
+        # to pile garbage into many distinct slots.
+        for k in range(50):
+            engine.schedule(3 + k, lambda: None).cancel()
+
+    ticker = engine.schedule_every(5, churn, label="churn")
+    engine.run_until(2_000)
+    ticker.cancel()
+    for repeater in repeaters:
+        repeater.cancel()
+
+    # The compaction invariant: garbage (dead entries still in the
+    # calendar) never exceeds max(threshold, live).
+    garbage = engine._size - engine._live
+    assert garbage <= max(256, engine._live)
+    # Survivors fired all the way to the horizon.
+    survivors = set(range(40)) - cancelled
+    assert survivors
+    for i in survivors:
+        assert any(tag == i for tag in fired)
+    # And cancelled repeaters stopped firing promptly: no survivor gap.
+    assert engine.pending_count == engine._live
+
+
+def test_repeating_cancel_heavy_calendar_stays_consistent():
+    """After heavy churn the calendar's bookkeeping still agrees with a
+    from-scratch walk of its entries."""
+    engine = Engine()
+    for i in range(500):
+        handle = engine.schedule(10 + i, lambda: None)
+        if i % 3:
+            handle.cancel()
+    live_walked = sum(
+        1 for _, handle in engine.calendar_entries() if handle.pending
+    )
+    assert live_walked == engine._live == engine.pending_count
+    assert engine.run() == live_walked
