@@ -39,6 +39,8 @@ def _worker_main(
     suspended_stack: "mp.Queue",
     resume_events: Sequence["mp.Event"],
     shutting_down: "mp.Event",
+    suspend_count: "mp.Value",
+    resume_count: "mp.Value",
 ) -> None:
     """Worker process body.  Module-level so it is picklable under spawn."""
     my_event = resume_events[index]
@@ -51,6 +53,7 @@ def _worker_main(
                 )
                 if should_suspend:
                     runnable.value -= 1
+                    suspend_count.value += 1
                     my_event.clear()
                     suspended_stack.put(index)
             if should_suspend:
@@ -64,6 +67,7 @@ def _worker_main(
                             peer = None
                         if peer is not None:
                             runnable.value += 1
+                            resume_count.value += 1
                             resume_events[peer].set()
         # --- dequeue and run one task ----------------------------------
         item = task_queue.get()
@@ -113,6 +117,8 @@ class ControlledPool:
         self._suspended: Optional[Any] = None
         self._resume_events: List[Any] = []
         self._shutting_down: Optional[Any] = None
+        self._suspend_count: Optional[Any] = None
+        self._resume_count: Optional[Any] = None
         self._next_task_id = 0
         self._submitted = 0
 
@@ -133,6 +139,8 @@ class ControlledPool:
         for event in self._resume_events:
             event.set()
         self._shutting_down = ctx.Event()
+        self._suspend_count = ctx.Value("i", 0)
+        self._resume_count = ctx.Value("i", 0)
         for index in range(self.n_workers):
             process = ctx.Process(
                 target=_worker_main,
@@ -146,6 +154,8 @@ class ControlledPool:
                     self._suspended,
                     self._resume_events,
                     self._shutting_down,
+                    self._suspend_count,
+                    self._resume_count,
                 ),
                 name=f"{self.name}-w{index}",
                 daemon=True,
@@ -239,6 +249,8 @@ class ControlledPool:
                 except queue_module.Empty:
                     break
                 self._runnable.value += 1
+                if self._resume_count is not None:
+                    self._resume_count.value += 1
                 self._resume_events[index].set()
 
     @property
@@ -251,6 +263,25 @@ class ControlledPool:
         return (
             self._runnable.value if self._runnable is not None else self.n_workers
         )
+
+    @property
+    def suspensions(self) -> int:
+        """Times a worker parked itself at a safe suspension point.
+
+        The real-system counterpart of the simulator's per-application
+        ``suspensions`` statistic; the co-simulation oracle diffs the two.
+        """
+        return self._suspend_count.value if self._suspend_count is not None else 0
+
+    @property
+    def resumes(self) -> int:
+        """Times a suspended worker was woken (by a peer or a target raise)."""
+        return self._resume_count.value if self._resume_count is not None else 0
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker processes still alive on the OS (crash visibility)."""
+        return sum(1 for process in self._workers if process.is_alive())
 
     @property
     def pending_tasks(self) -> int:

@@ -1,0 +1,52 @@
+"""Declarative scenario corpus + co-simulation oracle.
+
+This package turns the repo's test surface into data:
+
+- :mod:`~repro.scenarios.spec` -- :class:`ScenarioCase` records (machine
+  shape, apps, scheduler x policy x shards x faults coordinates, seed)
+  with declared :class:`Expect` invariants; round-trips through dicts/YAML.
+- :mod:`~repro.scenarios.catalog` -- the seeded corpus (~70 cases across
+  eight families), filterable by coordinate.
+- :mod:`~repro.scenarios.runner` -- the one runner executing cases for
+  pytest, the CLI, and CI, serially or over the parallel sweep harness.
+- :mod:`~repro.scenarios.builders` -- the shared machine/application
+  builders (hoisted from the test suite's conftest).
+- :mod:`~repro.scenarios.golden` -- golden-pin storage with a first-class
+  ``REPRO_UPDATE_GOLDEN`` regeneration path and uniform mismatch messages.
+- :mod:`~repro.scenarios.cosim` -- the co-simulation oracle: the same
+  task-queue workload through the simulator and through
+  :mod:`repro.realsys` OS processes, timelines diffed within declared
+  tolerance bands.
+
+See ``docs/SCENARIOS.md`` for the schema and how to add a case.
+"""
+
+from repro.scenarios.catalog import (
+    all_cases,
+    case_names,
+    coverage_summary,
+    filter_cases,
+    get_case,
+)
+from repro.scenarios.runner import (
+    CaseOutcome,
+    CatalogReport,
+    run_case,
+    run_catalog,
+)
+from repro.scenarios.spec import CaseApp, Expect, ScenarioCase
+
+__all__ = [
+    "CaseApp",
+    "CaseOutcome",
+    "CatalogReport",
+    "Expect",
+    "ScenarioCase",
+    "all_cases",
+    "case_names",
+    "coverage_summary",
+    "filter_cases",
+    "get_case",
+    "run_case",
+    "run_catalog",
+]

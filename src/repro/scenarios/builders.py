@@ -1,0 +1,162 @@
+"""Shared machine and application builders.
+
+These used to live in ``tests/conftest.py`` (and before that were
+copy-pasted per test module); the scenario catalog needs the exact same
+construction path, so they are hoisted here and the test suite re-exports
+them.  One source of truth means a catalog case and a hand-written test
+that describe "the same machine" really do build the same machine.
+
+The template registry maps short declarative names (``"uniform"``,
+``"csection"``, ``"fft"``, ...) to application factories, so a
+:class:`~repro.scenarios.spec.CaseApp` record can name its workload as
+data instead of carrying a closure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.apps import (
+    FFT,
+    BarrierHeavyApp,
+    CriticalSectionApp,
+    Gauss,
+    MatMul,
+    MergeSort,
+    UniformApp,
+)
+from repro.machine import MachineConfig
+from repro.sim import units
+
+
+def scenario_machine(
+    n_processors: int = 4, quantum: int = units.ms(10), **overrides
+) -> MachineConfig:
+    """A scenario machine with the paper-default switch costs.
+
+    Extra keyword arguments pass straight through to :class:`MachineConfig`.
+    """
+    return MachineConfig(n_processors=n_processors, quantum=quantum, **overrides)
+
+
+def small_machine(n_processors: int = 4, **overrides) -> MachineConfig:
+    """:func:`scenario_machine` with cheap, exact-time-friendly costs.
+
+    Context switches cost a flat 100 us-units and the cache model is off,
+    so tests (and digest-pinned catalog cases) can reason about precise
+    completion times.
+    """
+    overrides.setdefault("context_switch_cost", 100)
+    overrides.setdefault("cache_affinity_enabled", False)
+    return scenario_machine(n_processors, **overrides)
+
+
+def uniform(name: str = "u", n_tasks: int = 20, cost: int = units.ms(5)):
+    """An application factory: each call of the returned lambda builds a
+    fresh :class:`UniformApp` (scenario re-runs must not share app state)."""
+    return lambda: UniformApp(app_id=name, n_tasks=n_tasks, task_cost=cost)
+
+
+# -- the declarative template registry -----------------------------------------
+#
+# Each entry: name -> builder(app_id, n_tasks, task_cost, scale, seed) that
+# returns a *fresh* Application.  ``n_tasks``/``task_cost`` parametrize the
+# synthetic templates; ``scale`` parametrizes the paper applications.  The
+# builder also reports the expected completed-task count when it is knowable
+# up front (None otherwise), which the catalog runner uses as its census
+# assertion.
+
+
+def _uniform(app_id, n_tasks, task_cost, scale, seed):
+    return UniformApp(
+        app_id=app_id, n_tasks=n_tasks, task_cost=task_cost, seed=seed
+    )
+
+
+def _csection(app_id, n_tasks, task_cost, scale, seed):
+    return CriticalSectionApp(
+        app_id=app_id, n_tasks=n_tasks, task_cost=task_cost, seed=seed
+    )
+
+
+def _barrier(app_id, n_tasks, task_cost, scale, seed):
+    # n_tasks is interpreted as the phase count; each phase runs four tasks
+    # so the straggler sensitivity the template probes survives small cases.
+    return BarrierHeavyApp(
+        app_id=app_id,
+        phases=n_tasks,
+        tasks_per_phase=4,
+        task_cost=task_cost,
+        seed=seed,
+    )
+
+
+_SCALE_APPS: Dict[str, Callable] = {
+    "fft": FFT,
+    "gauss": Gauss,
+    "matmul": MatMul,
+    "sort": MergeSort,
+}
+
+
+def _make_scale_builder(cls):
+    def build(app_id, n_tasks, task_cost, scale, seed):
+        return cls(app_id=app_id, scale=scale, seed=seed)
+
+    return build
+
+
+_TEMPLATES: Dict[str, Callable] = {
+    "uniform": _uniform,
+    "csection": _csection,
+    "barrier": _barrier,
+    **{name: _make_scale_builder(cls) for name, cls in _SCALE_APPS.items()},
+}
+
+#: Template names accepted by :class:`repro.scenarios.spec.CaseApp`.
+TEMPLATE_NAMES = tuple(sorted(_TEMPLATES))
+
+#: Default synthetic-template task parameters (kept small so a 70-case
+#: corpus stays a seconds-scale pytest run).
+DEFAULT_N_TASKS = 16
+DEFAULT_TASK_COST = units.ms(3)
+DEFAULT_SCALE = 0.08
+
+
+def make_app_factory(
+    template: str,
+    app_id: str,
+    n_tasks: Optional[int] = None,
+    task_cost: Optional[int] = None,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Callable[[], object]:
+    """A zero-argument application factory for an :class:`AppSpec`.
+
+    Raises ``ValueError`` for unknown template names so a typo in a catalog
+    record fails at build time, not as a silent empty run.
+    """
+    builder = _TEMPLATES.get(template)
+    if builder is None:
+        raise ValueError(
+            f"unknown app template {template!r}; valid names: "
+            f"{', '.join(TEMPLATE_NAMES)}"
+        )
+    n_tasks = DEFAULT_N_TASKS if n_tasks is None else n_tasks
+    task_cost = DEFAULT_TASK_COST if task_cost is None else task_cost
+    scale = DEFAULT_SCALE if scale is None else scale
+    return lambda: builder(app_id, n_tasks, task_cost, scale, seed)
+
+
+def expected_tasks(
+    template: str, n_tasks: Optional[int] = None
+) -> Optional[int]:
+    """The completed-task count a template is known to produce, or ``None``
+    when it depends on the application's internal decomposition (the
+    scale-parametrized paper applications)."""
+    n_tasks = DEFAULT_N_TASKS if n_tasks is None else n_tasks
+    if template in ("uniform", "csection"):
+        return n_tasks
+    if template == "barrier":
+        return n_tasks * 4
+    return None

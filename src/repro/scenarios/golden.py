@@ -1,0 +1,101 @@
+"""Golden-pin storage with a first-class regeneration path.
+
+The repo pins behaviour in golden JSON files (dispatch digests, event
+counts).  Historically each test compared dicts with a raw ``assert``;
+this module centralizes the compare-or-update protocol so every consumer
+fails the same way: a message that names the diverging fields, states
+that a golden mismatch is a *behaviour change*, and spells out the exact
+regeneration command -- instead of a bare assertion diff.
+
+Regeneration is requested with the ``REPRO_UPDATE_GOLDEN=1`` environment
+flag; without it, stores are strictly read-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Environment flag that switches every golden comparison into
+#: record-and-save mode.
+UPDATE_ENV_VAR = "REPRO_UPDATE_GOLDEN"
+
+
+def update_requested() -> bool:
+    """True when this process was asked to regenerate golden pins."""
+    return bool(os.environ.get(UPDATE_ENV_VAR))
+
+
+def mismatch_message(
+    name: str,
+    measured: Dict[str, Any],
+    pinned: Dict[str, Any],
+    regen_hint: str,
+) -> str:
+    """The one shared way a golden divergence is reported.
+
+    Lists only the fields that differ (a full-dict diff buries the signal
+    when the record holds long digests), then the policy and the command.
+    """
+    diffs = []
+    for key in sorted(set(measured) | set(pinned)):
+        got, want = measured.get(key, "<absent>"), pinned.get(key, "<absent>")
+        if got != want:
+            diffs.append(f"  {key}: measured {got!r} != pinned {want!r}")
+    detail = "\n".join(diffs) or "  (records differ in structure)"
+    return (
+        f"golden pin mismatch for {name!r}:\n{detail}\n"
+        "A golden mismatch means observable behaviour changed. If the "
+        "change is intentional, regenerate the pins and commit the diff "
+        "(review it first):\n"
+        f"  {UPDATE_ENV_VAR}=1 {regen_hint}\n"
+        f"If it is not intentional, this is a regression -- do not set "
+        f"{UPDATE_ENV_VAR}."
+    )
+
+
+class GoldenStore:
+    """One JSON file mapping pin names to measurement records."""
+
+    def __init__(self, path: Path, regen_hint: str) -> None:
+        self.path = Path(path)
+        self.regen_hint = regen_hint
+        self.data: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        if self.path.exists():
+            self.data = json.loads(self.path.read_text())
+
+    def compare(self, name: str, measured: Dict[str, Any]) -> Optional[str]:
+        """Check *measured* against the pin; return a failure message or None.
+
+        In update mode the measurement is recorded (call :meth:`save`
+        afterwards) and the comparison always passes.  A *missing* pin
+        outside update mode is a failure too -- an unpinned case would
+        otherwise silently stop guarding anything.
+        """
+        if update_requested():
+            if self.data.get(name) != measured:
+                self.data[name] = measured
+                self._dirty = True
+            return None
+        pinned = self.data.get(name)
+        if pinned is None:
+            return (
+                f"no golden pin named {name!r} in {self.path}; generate it "
+                f"with: {UPDATE_ENV_VAR}=1 {self.regen_hint}"
+            )
+        if pinned != measured:
+            return mismatch_message(name, measured, pinned, self.regen_hint)
+        return None
+
+    def save(self) -> None:
+        """Write the store back (update mode only; no-op when clean)."""
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(dict(sorted(self.data.items())), indent=2) + "\n"
+        )
+        self._dirty = False

@@ -5,8 +5,11 @@ individual tests override fields as needed.  Program builders return
 generator *functions* so each test can instantiate fresh generators.
 
 The scenario-level helpers (``scenario_machine``, ``small_machine``,
-``uniform``) are the single source of the machine/workload shapes the
-scenario tests share; they used to be copy-pasted per test module.
+``uniform``) are re-exported from :mod:`repro.scenarios.builders` -- the
+same construction path the declarative catalog uses -- so a hand-written
+test and a corpus case that describe "the same machine" really do build
+the same machine.  They used to be copy-pasted per test module, then
+duplicated here; now there is one source of truth.
 """
 
 from __future__ import annotations
@@ -15,10 +18,14 @@ from typing import Optional
 
 import pytest
 
-from repro.apps import UniformApp
 from repro.kernel import Kernel, KernelConfig
 from repro.kernel.scheduler.base import SchedulerPolicy
 from repro.machine import Machine, MachineConfig
+from repro.scenarios.builders import (  # noqa: F401 - shared test helpers
+    scenario_machine,
+    small_machine,
+    uniform,
+)
 from repro.sim import Engine, TraceLog, units
 
 
@@ -53,33 +60,6 @@ def make_kernel(
         config=kconfig or KernelConfig(),
         trace=trace,
     )
-
-
-def scenario_machine(
-    n_processors: int = 4, quantum: int = units.ms(10), **overrides
-) -> MachineConfig:
-    """A scenario-test machine with the paper-default switch costs.
-
-    Extra keyword arguments pass straight through to :class:`MachineConfig`.
-    """
-    return MachineConfig(n_processors=n_processors, quantum=quantum, **overrides)
-
-
-def small_machine(n_processors: int = 4, **overrides) -> MachineConfig:
-    """:func:`scenario_machine` with cheap, exact-time-friendly costs.
-
-    Context switches cost a flat 100 us-units and the cache model is off,
-    so tests can reason about precise completion times.
-    """
-    overrides.setdefault("context_switch_cost", 100)
-    overrides.setdefault("cache_affinity_enabled", False)
-    return scenario_machine(n_processors, **overrides)
-
-
-def uniform(name: str = "u", n_tasks: int = 20, cost: int = units.ms(5)):
-    """An application factory: each call of the returned lambda builds a
-    fresh :class:`UniformApp` (scenario re-runs must not share app state)."""
-    return lambda: UniformApp(app_id=name, n_tasks=n_tasks, task_cost=cost)
 
 
 @pytest.fixture

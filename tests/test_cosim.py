@@ -1,0 +1,171 @@
+"""The co-simulation oracle: simulator vs real OS processes.
+
+The tolerance-band semantics (``diff_observations``) are pure functions
+and tested synthetically; the live oracle runs (``run_cosim``) spawn real
+worker processes and carry the ``cosim`` marker so CI can select them as
+the co-simulation smoke subset (``-m cosim``).
+"""
+
+import pytest
+
+from repro.scenarios.cosim import (
+    SMOKE_CASES,
+    CosimCase,
+    CosimPool,
+    CosimReport,
+    Observation,
+    Tolerance,
+    _dedup,
+    _is_subsequence,
+    diff_observations,
+    get_smoke_case,
+    run_cosim,
+)
+
+
+def two_pool_case(**overrides) -> CosimCase:
+    fields = dict(
+        name="t",
+        n_cpus=4,
+        pools=(CosimPool("a", 4, 48), CosimPool("b", 4, 12)),
+    )
+    fields.update(overrides)
+    return CosimCase(**fields)
+
+
+def matched_observation(side: str) -> Observation:
+    observation = Observation(side=side)
+    observation.decisions = [{"a": 4}, {"a": 2, "b": 2}, {"a": 4}]
+    observation.adopted = {"a": [4, 2, 4], "b": [2]}
+    observation.census = {"a": 48, "b": 12}
+    observation.suspensions = {"a": 2, "b": 2}
+    observation.updates = 6
+    observation.duration_s = 0.2
+    return observation
+
+
+class TestHelpers:
+    def test_dedup(self):
+        assert _dedup([1, 1, 2, 2, 1]) == [1, 2, 1]
+        assert _dedup([]) == []
+
+    def test_is_subsequence(self):
+        assert _is_subsequence([4, 2], [4, 2, 4])
+        assert _is_subsequence([], [1])
+        assert not _is_subsequence([2, 4, 2], [4, 2, 4])
+
+
+class TestCaseValidation:
+    def test_needs_pools(self):
+        with pytest.raises(ValueError, match="at least one pool"):
+            CosimCase(name="x", n_cpus=2, pools=())
+
+    def test_rejects_duplicate_pool_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CosimCase(
+                name="x",
+                n_cpus=2,
+                pools=(CosimPool("a", 2, 4), CosimPool("a", 2, 4)),
+            )
+
+    def test_get_smoke_case(self):
+        assert get_smoke_case("shrink-to-one").n_cpus == 2
+        with pytest.raises(KeyError, match="no co-sim smoke case"):
+            get_smoke_case("nope")
+
+
+class TestToleranceBands:
+    def test_matched_observations_have_no_diffs(self):
+        case = two_pool_case()
+        diffs = diff_observations(
+            case, matched_observation("sim"), matched_observation("real")
+        )
+        assert diffs == []
+
+    def test_adoption_subsequence_tolerated(self):
+        case = two_pool_case()
+        sim = matched_observation("sim")
+        sim.adopted["a"] = [4, 2]  # the final poll never happened
+        sim.suspensions["a"] = 2
+        assert diff_observations(case, sim, matched_observation("real")) == []
+
+    def test_adoption_divergence_reported(self):
+        case = two_pool_case()
+        sim = matched_observation("sim")
+        sim.adopted["a"] = [2, 4, 2]  # reordered: not a subsequence
+        diffs = diff_observations(case, sim, matched_observation("real"))
+        assert any("adoption order differs" in d for d in diffs)
+
+    def test_decision_divergence_reported(self):
+        case = two_pool_case()
+        real = matched_observation("real")
+        real.decisions = [{"a": 4}, {"a": 3, "b": 1}, {"a": 4}]
+        diffs = diff_observations(case, matched_observation("sim"), real)
+        assert any("decision sequences differ" in d for d in diffs)
+
+    def test_decision_subsequence_allowed_when_downgraded(self):
+        case = two_pool_case(tolerance=Tolerance(exact_decisions=False))
+        real = matched_observation("real")
+        real.decisions = [{"a": 4}, {"a": 4}]  # dedup'd upstream normally
+        real.decisions = [{"a": 4}]
+        diffs = diff_observations(case, matched_observation("sim"), real)
+        assert not any("decision sequences differ" in d for d in diffs)
+
+    def test_census_mismatch_reported(self):
+        case = two_pool_case()
+        real = matched_observation("real")
+        real.census["b"] = 11  # lost a task
+        diffs = diff_observations(case, matched_observation("sim"), real)
+        assert any("census 11 != submitted 12" in d for d in diffs)
+
+    def test_suspension_floor_enforced_per_side(self):
+        case = two_pool_case()
+        real = matched_observation("real")
+        real.suspensions["a"] = 0  # adopted 2 but never actually parked
+        diffs = diff_observations(case, matched_observation("sim"), real)
+        assert any("suspensions 0 outside band" in d for d in diffs)
+        assert any("control engaged on one side only" in d for d in diffs)
+
+    def test_suspension_cap_enforced(self):
+        case = two_pool_case()
+        sim = matched_observation("sim")
+        sim.suspensions["b"] = 10_000
+        diffs = diff_observations(case, sim, matched_observation("real"))
+        assert any("outside band" in d for d in diffs)
+
+    def test_cadence_band(self):
+        case = two_pool_case()
+        real = matched_observation("real")
+        real.duration_s = 10.0  # 6 updates in 10s at a 0.04s interval
+        diffs = diff_observations(case, matched_observation("sim"), real)
+        assert any("cadence (real)" in d for d in diffs)
+
+    def test_report_formatting(self):
+        case = two_pool_case()
+        report = CosimReport(
+            case=case,
+            sim=matched_observation("sim"),
+            real=matched_observation("real"),
+        )
+        assert report.ok
+        assert "OK" in report.format_report()
+        report.diffs = ["something diverged"]
+        assert not report.ok
+        assert "DIVERGED" in report.format_report()
+        with pytest.raises(AssertionError, match="diverged beyond tolerance"):
+            report.assert_within()
+
+
+@pytest.mark.cosim
+@pytest.mark.parametrize("name", [case.name for case in SMOKE_CASES])
+def test_cosim_smoke(name):
+    """The live oracle: both implementations within declared bands.
+
+    The real side runs on wall-clock time under whatever load the host
+    happens to carry, so one divergence gets a single retry; only a
+    *repeated* divergence is treated as an implementation drift.
+    """
+    report = run_cosim(get_smoke_case(name))
+    if not report.ok:
+        report = run_cosim(get_smoke_case(name))
+    report.assert_within()

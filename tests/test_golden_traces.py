@@ -22,7 +22,6 @@ change, not a formality).
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest
@@ -30,10 +29,17 @@ import pytest
 from repro.experiments.figure1 import figure1_scenario
 from repro.experiments.figure4 import figure4_scenario
 from repro.experiments.steady_state import steady_state_scenario
+from repro.scenarios.golden import (
+    UPDATE_ENV_VAR,
+    mismatch_message,
+    update_requested,
+)
 from repro.sim import TraceLog, dispatch_digest
 from repro.workloads import run_scenario
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+
+REGEN_HINT = "PYTHONPATH=src python -m pytest tests/test_golden_traces.py -q"
 
 #: name -> zero-arg scenario builder (quick preset keeps the suite fast).
 CASES = {
@@ -64,19 +70,18 @@ def _measure(name: str) -> dict:
 def test_golden_trace(name):
     golden_path = GOLDEN_DIR / f"{name}.json"
     measured = _measure(name)
-    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+    if update_requested():
         GOLDEN_DIR.mkdir(exist_ok=True)
         golden_path.write_text(json.dumps(measured, indent=2) + "\n")
-    assert golden_path.exists(), (
-        f"missing golden file {golden_path}; generate with "
-        "REPRO_UPDATE_GOLDEN=1"
-    )
+        return
+    if not golden_path.exists():
+        pytest.fail(
+            f"no golden pin at {golden_path}; generate it with: "
+            f"{UPDATE_ENV_VAR}=1 {REGEN_HINT}"
+        )
     golden = json.loads(golden_path.read_text())
-    assert measured == golden, (
-        f"{name}: dispatch sequence diverged from the committed golden "
-        f"trace (measured {measured}, golden {golden}); if this change is "
-        "intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and commit"
-    )
+    if measured != golden:
+        pytest.fail(mismatch_message(name, measured, golden, REGEN_HINT))
 
 
 def test_golden_replay_is_deterministic():
