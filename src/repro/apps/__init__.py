@@ -15,6 +15,9 @@ applications used by the ablation benchmarks.
   pivoting: alternating serial pivot and parallel elimination phases.
 - :mod:`~repro.apps.synthetic` -- parameterized uniform / barrier-heavy /
   critical-section-heavy applications for ablations.
+- :class:`~repro.apps.service.ServiceApp` -- an open-arrival
+  request-serving tenant: requests arrive on their own clock and carry
+  tail-latency objectives.
 
 Applications are deterministic given their ``seed``; per-task cost jitter
 models data-dependent work without breaking reproducibility.
@@ -28,6 +31,7 @@ from repro.apps.gauss import Gauss
 from repro.apps.quicksort import QuickSort
 from repro.apps.jacobi import Jacobi
 from repro.apps.synthetic import BarrierHeavyApp, CriticalSectionApp, UniformApp
+from repro.apps.service import ServiceApp, ServiceProfile
 
 __all__ = [
     "Application",
@@ -41,4 +45,6 @@ __all__ = [
     "UniformApp",
     "BarrierHeavyApp",
     "CriticalSectionApp",
+    "ServiceApp",
+    "ServiceProfile",
 ]

@@ -1,0 +1,237 @@
+"""An open-arrival request-serving application.
+
+A :class:`ServiceApp` is a tenant whose work arrives on its own clock: a
+chain of dispatcher tasks (the listener thread, one short segment per
+arrival) sleeps out each inter-arrival gap and pushes the request's task
+DAG onto the ordinary task queue, so the threads package -- and
+therefore process control -- sees nothing new.  The segments are marked
+``urgent`` (front of the queue) so admission keeps pace with the arrival
+clock instead of queueing behind backlogged stage work, and chaining
+them keeps every segment short, so the package reaches its safe control
+points (polls, demand and QoS reports, suspension) between arrivals
+instead of being wedged inside one run-length dispatcher task.
+
+Each request is ``fanout`` parallel stage tasks followed by one reduce
+task released when the stages drain; the reduce task carries the request
+id and its *intended* arrival instant in ``Task.meta``, which the threads
+package stamps into the trace at completion.  Latency is measured from
+the intended arrival, not from dispatch: if the dispatcher itself is
+starved of CPU, that queueing delay is real latency -- the open-world
+property that distinguishes a service from a batch job.
+
+The application exposes a :class:`ServiceProfile` (SLO target, tier tag,
+nominal zero-load latency); the threads package uses it to piggyback a
+latency-slowdown estimate on its ordinary board polls, which the
+SLO-aware allocation policy consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import Application
+from repro.kernel import syscalls as sc
+from repro.sim import units
+from repro.threads.task import SpawnTask, Task
+from repro.workloads.service import (
+    SERVICE_TIERS,
+    TIER_INTERACTIVE,
+    bursty_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """What the control plane may know about a service tenant.
+
+    Attributes:
+        slo_us: the per-request latency objective, in microseconds.
+        tier: ``"interactive"`` (has a latency target the SLO policy
+            steers toward) or ``"batch"`` (absorbs slack).
+        nominal_latency_us: zero-load service time of one request (stage
+            plus reduce); the denominator of the slowdown estimate.
+    """
+
+    slo_us: int
+    tier: str
+    nominal_latency_us: int
+
+
+class ServiceApp(Application):
+    """Requests on a seeded Poisson/bursty/trace stream, each a small DAG.
+
+    Args:
+        app_id / seed: the usual application identity.
+        rate_per_s: mean request arrival rate (ignored when *arrivals* is
+            given).
+        n_requests: how many requests the stream carries; the task census
+            is exactly ``n_requests * (fanout + 2)`` (one dispatcher
+            segment, ``fanout`` stages, and one reduce per request),
+            knowable up front.
+        fanout: parallel stage tasks per request (>= 1).
+        stage_cost: compute cost of one stage task, microseconds.
+        reduce_cost: compute cost of the reduce task (default: half a
+            stage).
+        slo_us: latency objective (default: 4x the nominal latency).
+        tier: ``"interactive"`` or ``"batch"``.
+        burst_factor: when set (> 1), arrivals come from
+            :func:`~repro.workloads.service.bursty_arrivals` at this
+            burst intensity instead of a flat Poisson stream.
+        arrivals: explicit trace-driven arrival instants (overrides
+            rate/burst generation; normalized via ``trace_arrivals``).
+        jitter: per-stage cost jitter fraction (deterministic, seeded).
+    """
+
+    #: Streaming request data: small per-request footprint.
+    cache_footprint = 0.3
+
+    def __init__(
+        self,
+        app_id: str = "service",
+        rate_per_s: float = 250.0,
+        n_requests: int = 24,
+        fanout: int = 2,
+        stage_cost: int = units.ms(2),
+        reduce_cost: Optional[int] = None,
+        slo_us: Optional[int] = None,
+        tier: str = TIER_INTERACTIVE,
+        burst_factor: Optional[float] = None,
+        arrivals: Optional[Sequence[int]] = None,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(app_id, seed)
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        if stage_cost < 1:
+            raise ValueError(f"stage_cost must be >= 1, got {stage_cost}")
+        if tier not in SERVICE_TIERS:
+            raise ValueError(
+                f"unknown service tier {tier!r}; expected one of {SERVICE_TIERS}"
+            )
+        if arrivals is not None:
+            self.arrivals = trace_arrivals(arrivals)
+        elif burst_factor is not None:
+            self.arrivals = bursty_arrivals(
+                rate_per_s, n_requests, seed=seed, burst_factor=burst_factor
+            )
+        else:
+            self.arrivals = poisson_arrivals(rate_per_s, n_requests, seed=seed)
+        self.n_requests = len(self.arrivals)
+        self.rate_per_s = rate_per_s
+        self.fanout = fanout
+        self.stage_cost = stage_cost
+        self.reduce_cost = (
+            max(1, stage_cost // 2) if reduce_cost is None else reduce_cost
+        )
+        if self.reduce_cost < 1:
+            raise ValueError(f"reduce_cost must be >= 1, got {self.reduce_cost}")
+        nominal = stage_cost + self.reduce_cost
+        self.slo_us = 4 * nominal if slo_us is None else slo_us
+        if self.slo_us < 1:
+            raise ValueError(f"slo_us must be >= 1, got {self.slo_us}")
+        self.tier = tier
+        self.jitter_fraction = jitter
+        #: Read by the threads package to piggyback slowdown/tier reports
+        #: on its ordinary board polls (absent on batch-only applications).
+        self.service_profile = ServiceProfile(
+            slo_us=self.slo_us, tier=tier, nominal_latency_us=nominal
+        )
+        #: request id -> stage tasks still in flight (filled at dispatch).
+        self._pending: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # The request DAG
+    # ------------------------------------------------------------------
+
+    def _stage_task(self, rid: int, stage: int) -> Task:
+        cost = self._jitter(self.stage_cost, self.jitter_fraction)
+
+        def body():
+            yield sc.Compute(cost)
+
+        return Task(
+            name=f"{self.app_id}.r{rid}.s{stage}",
+            body=body,
+            meta={"service_stage": rid},
+        )
+
+    def _reduce_task(self, rid: int, arrival: int) -> Task:
+        cost = self.reduce_cost
+
+        def body():
+            yield sc.Compute(cost)
+
+        return Task(
+            name=f"{self.app_id}.r{rid}.reduce",
+            body=body,
+            meta={
+                "service_request": rid,
+                "service_arrival": arrival,
+                "service_slo": self.slo_us,
+            },
+        )
+
+    def _dispatch_task(self, rid: int) -> Task:
+        gap = self.arrivals[rid] - (self.arrivals[rid - 1] if rid else 0)
+
+        def body():
+            if gap:
+                yield sc.Sleep(gap)
+            self._pending[rid] = self.fanout
+            for stage in range(self.fanout):
+                yield SpawnTask(self._stage_task(rid, stage))
+
+        return Task(
+            name=f"{self.app_id}.dispatch{rid}",
+            body=body,
+            urgent=True,
+            meta={"service_dispatch": rid},
+        )
+
+    def initial_tasks(self) -> List[Task]:
+        return [self._dispatch_task(0)]
+
+    def on_task_done(self, task: Task) -> List[Task]:
+        rid = task.meta.get("service_dispatch")
+        if rid is not None:
+            # Chain the next listener segment; the chain (not a loop in
+            # one task body) is what lets the package hit safe control
+            # points between arrivals.
+            if rid + 1 < self.n_requests:
+                return [self._dispatch_task(rid + 1)]
+            return []
+        rid = task.meta.get("service_stage")
+        if rid is None:
+            return []
+        remaining = self._pending[rid] - 1
+        if remaining:
+            self._pending[rid] = remaining
+            return []
+        del self._pending[rid]
+        return [self._reduce_task(rid, self.arrivals[rid])]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def total_work(self) -> int:
+        return self.n_requests * (
+            self.fanout * self.stage_cost + self.reduce_cost
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "app_id": self.app_id,
+            "kind": "service",
+            "tier": self.tier,
+            "n_requests": self.n_requests,
+            "fanout": self.fanout,
+            "stage_cost_us": self.stage_cost,
+            "reduce_cost_us": self.reduce_cost,
+            "slo_us": self.slo_us,
+            "rate_per_s": self.rate_per_s,
+        }

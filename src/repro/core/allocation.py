@@ -22,21 +22,30 @@ Policies:
   (reported by the threads package at registration and every poll), and
   the slack an idle-wide application cannot use water-fills to the
   applications that can.
+* :class:`SLOPolicy` (``"slo"``) -- latency-objective feedback on top of
+  the demand caps: service applications piggyback a latency-slowdown
+  estimate and a tier tag on their polls, and interactive tenants whose
+  slowdown exceeds the target get their water-filling weight boosted (up
+  to a cap), so batch tenants absorb the slack.  Optional per-application
+  processor floors are restored after water-filling.
 * :class:`SpaceAwarePolicy` -- the Section 7 integration: when the kernel
   runs the ``partition`` space scheduler, each application's target is the
   size of its processor group, so a controlled application is not starved
   by greedy uncontrolled load the partition already isolates.  Not
   constructible by bare name (it needs the live scheduler instance).
 
-All policies are pure: ``allocate`` maps an :class:`AllocationRequest`
-snapshot to per-application targets and keeps no state between rounds, so
-one instance may serve several sharded servers.
+Policies are pure unless marked ``stateful``: ``allocate`` maps an
+:class:`AllocationRequest` snapshot to per-application targets, and a
+stateless instance may serve several sharded servers.  Stateful policies
+(cross-round feedback memory) override :meth:`AllocationPolicy.clone`,
+and the scenario runner gives each shard its own clone -- the per-shard
+weight tables the sharding work left open.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.core.policy import partition_processors
 
@@ -101,7 +110,12 @@ class AllocationRequest:
         demand_reported_at: when each backlog figure was written (board
             timestamp); absent = never reported.  Lets policies age the
             telemetry instead of trusting a dead application's last word.
-        now: the server's scan time, for aging ``demand_reported_at``.
+        qos: latency telemetry service applications piggyback on their
+            polls: ``app_id -> (slowdown estimate, tier tag, reported
+            at)``.  Slowdown is observed request latency over the
+            application's nominal zero-load latency; applications that
+            never reported are absent.
+        now: the server's scan time, for aging the telemetry.
     """
 
     n_processors: int
@@ -109,6 +123,7 @@ class AllocationRequest:
     app_totals: Mapping[str, int]
     demands: Mapping[str, int] = field(default_factory=dict)
     demand_reported_at: Mapping[str, int] = field(default_factory=dict)
+    qos: Mapping[str, Tuple[float, str, int]] = field(default_factory=dict)
     now: int = 0
 
 
@@ -125,9 +140,25 @@ class AllocationPolicy:
     #: Registry name (``make_policy(name)``); also used in reports.
     name: str = "policy"
 
+    #: Whether the policy keeps cross-round feedback memory that must not
+    #: be shared between sharded servers.  Shards see disjoint application
+    #: sets, and a stateful policy prunes its memory against whatever set
+    #: it saw last -- two shards sharing one instance would evict each
+    #: other's entries every round.  Stateful policies override
+    #: :meth:`clone`; the scenario runner hands each shard its own clone.
+    stateful: bool = False
+
     def allocate(self, request: AllocationRequest) -> Dict[str, int]:
         """Map one snapshot to per-application runnable-process targets."""
         raise NotImplementedError
+
+    def clone(self) -> "AllocationPolicy":
+        """A same-configuration instance safe to hand another shard.
+
+        Stateless policies return ``self``; stateful ones return a fresh
+        instance with the same knobs and empty cross-round memory.
+        """
+        return self
 
     def describe(self) -> str:
         """Human-readable label for experiment reports."""
@@ -302,6 +333,212 @@ class DemandPolicy(AllocationPolicy):
         return f"{self.name}({','.join(knobs)})" if knobs else self.name
 
 
+#: Tier tag carried in QoS reports that marks a latency-sensitive tenant
+#: (mirrors ``repro.workloads.service.TIER_INTERACTIVE``; duplicated here
+#: because the core layer must not import the workloads layer).
+_INTERACTIVE_TIER = "interactive"
+
+
+class SLOPolicy(DemandPolicy):
+    """Latency-objective feedback: boost starving interactive tenants.
+
+    Extends the demand caps with the QoS reverse channel: service
+    applications piggyback ``(slowdown, tier)`` on their polls, where
+    slowdown is observed request latency over the tenant's nominal
+    zero-load latency.  Each round, an *interactive* tenant whose fresh
+    slowdown estimate exceeds ``target_slowdown`` has its water-filling
+    weight multiplied by the (EWMA-smoothed) pressure ratio
+    ``slowdown / target_slowdown``, capped at ``boost_cap`` -- so a
+    tenant missing its objective pulls processors from tenants that are
+    not, and batch tenants (weight never boosted) absorb the slack.
+    Tenants with no fresh QoS report keep their base weight, which
+    degrades to plain demand-aware behaviour.
+
+    Interactive tenants are exempt from the demand cap entirely: a
+    backlog snapshot taken between open arrivals says nothing about the
+    work the next instant will bring, and capping an open-arrival tenant
+    at that snapshot starves it exactly when its queue is about to grow
+    (the threads package announces a tenant's tier at registration, so
+    the exemption holds from the first round).  Batch tenants and
+    ordinary applications keep the demand caps -- their backlog is their
+    demand, and the slack a drained batch job releases is what the boost
+    redistributes.
+
+    ``floors`` optionally names hard per-application processor minimums
+    (e.g. a paid tier's reservation).  Floors are restored *after*
+    water-filling by moving processors from the applications with the
+    most headroom, preserving the total grant.  Guarantee: every target
+    is at least 1 always; and whenever there is no uncontrolled load and
+    the machine has room for every floor (counting one processor for
+    each unfloored application), every application meets its effective
+    floor ``min(floor, own process count)``.
+
+    The pressure EWMA is cross-round feedback memory, so the policy is
+    ``stateful``: the scenario runner hands each shard its own
+    :meth:`clone` rather than sharing one instance -- the per-shard
+    weight tables realized.
+    """
+
+    name = "slo"
+    stateful = True
+
+    def __init__(
+        self,
+        weights: Optional[Mapping[str, float]] = None,
+        smoothing: Optional[float] = None,
+        report_ttl: Optional[int] = None,
+        target_slowdown: float = 2.0,
+        boost_cap: float = 8.0,
+        pressure_smoothing: float = 0.5,
+        floors: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        super().__init__(
+            weights=weights, smoothing=smoothing, report_ttl=report_ttl
+        )
+        if target_slowdown <= 0:
+            raise ValueError(
+                f"target_slowdown must be positive, got {target_slowdown}"
+            )
+        if boost_cap < 1.0:
+            raise ValueError(f"boost_cap must be >= 1, got {boost_cap}")
+        if not 0.0 < pressure_smoothing <= 1.0:
+            raise ValueError(
+                f"pressure_smoothing must be in (0, 1], got {pressure_smoothing}"
+            )
+        self.floors: Dict[str, int] = dict(floors) if floors else {}
+        for app_id, floor in self.floors.items():
+            if floor < 1:
+                raise ValueError(
+                    f"floor for {app_id!r} must be >= 1, got {floor}"
+                )
+        self.target_slowdown = target_slowdown
+        self.boost_cap = boost_cap
+        self.pressure_smoothing = pressure_smoothing
+        self._pressure: Dict[str, float] = {}
+
+    def clone(self) -> "SLOPolicy":
+        return type(self)(
+            weights=self.weights,
+            smoothing=self.smoothing,
+            report_ttl=self.report_ttl,
+            target_slowdown=self.target_slowdown,
+            boost_cap=self.boost_cap,
+            pressure_smoothing=self.pressure_smoothing,
+            floors=self.floors,
+        )
+
+    def _fresh_qos(
+        self, app_id: str, request: AllocationRequest
+    ) -> Optional[Tuple[float, str]]:
+        """The usable QoS report for *app_id*, or ``None`` when absent/stale."""
+        entry = request.qos.get(app_id)
+        if entry is None:
+            return None
+        slowdown, tier, reported_at = entry
+        if (
+            self.report_ttl is not None
+            and request.now - reported_at > self.report_ttl
+        ):
+            return None
+        return slowdown, tier
+
+    def _boosted_weights(
+        self, request: AllocationRequest
+    ) -> Tuple[Optional[Dict[str, float]], set]:
+        """Per-app water-filling weights and the interactive-tenant set."""
+        weights: Dict[str, float] = {}
+        interactive = set()
+        for app_id in request.app_totals:
+            weight = self.weights.get(app_id, 1.0)
+            qos = self._fresh_qos(app_id, request)
+            if qos is None:
+                self._pressure.pop(app_id, None)
+            else:
+                slowdown, tier = qos
+                if tier == _INTERACTIVE_TIER:
+                    interactive.add(app_id)
+                    pressure = slowdown / self.target_slowdown
+                    alpha = self.pressure_smoothing
+                    previous = self._pressure.get(app_id)
+                    if previous is not None:
+                        pressure = alpha * pressure + (1.0 - alpha) * previous
+                    self._pressure[app_id] = pressure
+                    weight *= min(self.boost_cap, max(1.0, pressure))
+            weights[app_id] = weight
+        if all(weight == 1.0 for weight in weights.values()):
+            # Equal weights: take the unweighted fill's exact tie-breaks.
+            return None, interactive
+        return weights, interactive
+
+    def _apply_floors(
+        self, targets: Dict[str, int], request: AllocationRequest
+    ) -> Dict[str, int]:
+        if not self.floors:
+            return targets
+        effective = {
+            app_id: min(floor, request.app_totals[app_id])
+            for app_id, floor in self.floors.items()
+            if app_id in targets
+        }
+        for app_id in sorted(effective):
+            while targets[app_id] < effective[app_id]:
+                donors = [
+                    other
+                    for other in targets
+                    if other != app_id
+                    and targets[other] > max(1, effective.get(other, 1))
+                ]
+                if not donors:
+                    break  # no headroom anywhere: floors oversubscribed
+                donor = max(donors, key=lambda other: (targets[other], other))
+                targets[donor] -= 1
+                targets[app_id] += 1
+        return targets
+
+    def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        for app_id in list(self._pressure):
+            if app_id not in request.app_totals:
+                del self._pressure[app_id]
+        weights, interactive = self._boosted_weights(request)
+        caps: Dict[str, int] = {}
+        for app_id, total in request.app_totals.items():
+            if app_id in interactive:
+                # Open arrivals: the snapshot backlog is not a demand
+                # signal, so interactive tenants are never demand-capped.
+                self._smoothed.pop(app_id, None)
+                demand = None
+            else:
+                demand = self._effective_demand(app_id, request)
+            if demand is None:
+                caps[app_id] = total
+            else:
+                caps[app_id] = max(1, min(total, demand))
+            # A floor raises the cap so the capacity it reserves exists.
+            floor = self.floors.get(app_id)
+            if floor is not None:
+                caps[app_id] = max(caps[app_id], min(floor, total))
+        targets = partition_processors(
+            request.n_processors,
+            request.uncontrolled_runnable,
+            caps,
+            weights=weights,
+        )
+        return self._apply_floors(targets, request)
+
+    def describe(self) -> str:
+        knobs = [f"target={self.target_slowdown:g}x"]
+        if self.smoothing is not None:
+            knobs.append(f"ewma={self.smoothing:g}")
+        if self.report_ttl is not None:
+            knobs.append(f"report_ttl={self.report_ttl}us")
+        if self.floors:
+            floors = ";".join(
+                f"{app}>={floor}" for app, floor in sorted(self.floors.items())
+            )
+            knobs.append(floors)
+        return f"{self.name}({','.join(knobs)})"
+
+
 class SpaceAwarePolicy(AllocationPolicy):
     """Targets from the space partition's processor groups (Section 7).
 
@@ -333,6 +570,7 @@ _FACTORIES: Dict[str, Callable[..., AllocationPolicy]] = {
     "equal": EquipartitionPolicy,
     "weighted": WeightedPolicy,
     "demand": DemandPolicy,
+    "slo": SLOPolicy,
 }
 
 #: Names accepted by :func:`make_policy` / ``Scenario.policy`` / ``--policy``

@@ -69,6 +69,11 @@ class _RoutedBoard:
     def report_demand(self, app_id: str, backlog: int, now: int) -> None:
         self._board.report_demand(app_id, backlog, now)
 
+    def report_qos(
+        self, app_id: str, slowdown: float, tier: str, now: int
+    ) -> None:
+        self._board.report_qos(app_id, slowdown, tier, now)
+
     @property
     def updated_at(self) -> Optional[int]:
         return self._board.updated_at

@@ -387,6 +387,7 @@ class ProcessControlServer:
                     app_totals=dict(self._my_apps),
                     demands=self.board.demand_snapshot(),
                     demand_reported_at=dict(self.board.demand_reported_at),
+                    qos=self.board.qos_snapshot(),
                     now=now,
                 )
             )
@@ -469,6 +470,7 @@ class ProcessControlServer:
                 app_totals=app_totals,
                 demands=self.board.demand_snapshot(),
                 demand_reported_at=dict(self.board.demand_reported_at),
+                qos=self.board.qos_snapshot(),
                 now=now,
             )
         )

@@ -34,6 +34,7 @@ from repro.experiments import (
     mechanisms,
     policies,
     recovery,
+    service,
     steady_state,
 )
 
@@ -47,6 +48,7 @@ _EXPERIMENTS = {
     "ablations": ablations.main,
     "mechanisms": mechanisms.main,
     "policies": policies.main,
+    "service": service.main,
     "steady-state": steady_state.main,
     "chaos": chaos_main,
     "recovery": recovery.main,

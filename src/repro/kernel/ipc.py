@@ -104,6 +104,14 @@ class ControlBoard:
         #: tasks), and when; consumed by demand-aware allocation policies.
         self.demands: Dict[str, int] = {}
         self.demand_reported_at: Dict[str, int] = {}
+        #: QoS telemetry service tenants piggyback on the same polls:
+        #: ``app_id -> (slowdown estimate, tier tag, reported at)``.
+        #: Slowdown is observed latency over the tenant's nominal
+        #: zero-load latency; tier is ``"interactive"`` or ``"batch"``.
+        #: Consumed by the SLO-aware allocation policy; applications
+        #: without a service profile never write here, so the channel is
+        #: free for every pre-existing workload.
+        self.qos: Dict[str, Tuple[float, str, int]] = {}
         #: Liveness word: the owning server stamps the board every scan
         #: (see :meth:`beat`); a watchdog that sees the stamp stop aging
         #: declares the server suspect.  Free shared-memory traffic.
@@ -209,6 +217,20 @@ class ControlBoard:
     def demand_snapshot(self) -> Dict[str, int]:
         """The reported backlogs (server side; absent = never reported)."""
         return dict(self.demands)
+
+    def report_qos(
+        self, app_id: str, slowdown: float, tier: str, now: int
+    ) -> None:
+        """Record *app_id*'s latency-slowdown estimate (application side)."""
+        if slowdown < 0:
+            raise ValueError(
+                f"negative slowdown {slowdown} for application {app_id!r}"
+            )
+        self.qos[app_id] = (slowdown, tier, now)
+
+    def qos_snapshot(self) -> Dict[str, Tuple[float, str, int]]:
+        """The reported QoS estimates (server side; absent = no report)."""
+        return dict(self.qos)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ControlBoard v{self.version} {self.targets}>"

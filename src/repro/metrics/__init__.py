@@ -1,7 +1,15 @@
-"""Measurement utilities: step time series, speedup math, report tables."""
+"""Measurement utilities: step time series, speedup math, latency
+accounting, report tables."""
 
 from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
 from repro.metrics.speedup import speedup, efficiency
+from repro.metrics.latency import (
+    LatencyStats,
+    RequestLog,
+    format_latency_table,
+    percentile,
+    tier_stats,
+)
 from repro.metrics.report import (
     format_run_header,
     format_sanitizer_summary,
@@ -13,6 +21,11 @@ __all__ = [
     "runnable_series_from_trace",
     "speedup",
     "efficiency",
+    "LatencyStats",
+    "RequestLog",
+    "percentile",
+    "tier_stats",
+    "format_latency_table",
     "format_table",
     "format_run_header",
     "format_sanitizer_summary",

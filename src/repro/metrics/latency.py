@@ -1,0 +1,206 @@
+"""Request-latency accounting: percentiles, goodput, SLO violations.
+
+The speedup module answers "how much faster did the batch job finish";
+this module answers the service-side question: "what latency did the
+requests see, and how many met their objective".  Everything is exact --
+the percentile estimator sorts the sample list rather than approximating,
+since a corpus case's request count is thousands at most and the numbers
+feed golden assertions that must not drift with estimator tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Microseconds per second (goodput is reported in requests/second).
+_US_PER_S = 1_000_000
+
+
+def percentile(samples: Sequence[int], q: float) -> int:
+    """The *q*-th percentile of *samples* by the nearest-rank method.
+
+    ``percentile(xs, 99)`` is the smallest value >= 99% of the samples:
+    ``sorted(xs)[ceil(q/100 * n) - 1]``.  Nearest-rank (no interpolation)
+    keeps the result an actual observed latency, which is what an SLO
+    report should quote.  Raises ``ValueError`` on an empty sample list
+    or a *q* outside ``(0, 100]``.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample list")
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    ordered = sorted(samples)
+    n = len(ordered)
+    rank = q / 100.0 * n
+    index = int(rank)
+    if rank > index:  # ceil for fractional ranks
+        index += 1
+    return ordered[index - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """One application's (or tier's) request-latency summary.
+
+    Times in microseconds.  ``goodput_per_s`` counts only requests that
+    met the SLO, over the observation window -- the throughput a customer
+    actually experienced, as opposed to raw completion throughput.
+    """
+
+    count: int
+    p50: int
+    p95: int
+    p99: int
+    mean: float
+    max: int
+    slo_us: int
+    violations: int
+    violation_rate: float
+    goodput_per_s: float
+    tier: str = "interactive"
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[int],
+        slo_us: int,
+        window_us: int,
+        tier: str = "interactive",
+    ) -> "LatencyStats":
+        """Reduce raw latency samples against an SLO and a window.
+
+        *window_us* is the observation span (first arrival to last
+        completion); it floors at 1 so a degenerate single-instant window
+        cannot divide by zero.
+        """
+        if not samples:
+            raise ValueError("no latency samples")
+        if slo_us < 1:
+            raise ValueError(f"slo_us must be >= 1, got {slo_us}")
+        violations = sum(1 for s in samples if s > slo_us)
+        met = len(samples) - violations
+        window_us = max(window_us, 1)
+        return cls(
+            count=len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            mean=sum(samples) / len(samples),
+            max=max(samples),
+            slo_us=slo_us,
+            violations=violations,
+            violation_rate=violations / len(samples),
+            goodput_per_s=met * _US_PER_S / window_us,
+            tier=tier,
+        )
+
+
+@dataclass
+class RequestLog:
+    """Accumulated per-request completions of one application.
+
+    The threads package appends ``(request_id, arrival, completed)``
+    triples as reduce tasks finish; :meth:`stats` reduces them.  Kept as
+    a tiny class (rather than a bare list) so the latency-EWMA state the
+    package piggybacks on its polls lives next to the samples it is
+    derived from.
+    """
+
+    slo_us: int
+    tier: str = "interactive"
+    #: (request id, intended arrival, completion instant) per request.
+    records: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def append(self, rid: int, arrival: int, completed: int) -> int:
+        """Record one completion; returns the latency in microseconds."""
+        latency = completed - arrival
+        self.records.append((rid, arrival, completed))
+        return latency
+
+    @property
+    def latencies(self) -> List[int]:
+        return [done - arrival for _, arrival, done in self.records]
+
+    def stats(self) -> Optional[LatencyStats]:
+        """The summary, or ``None`` when no request completed."""
+        if not self.records:
+            return None
+        first_arrival = min(arrival for _, arrival, _ in self.records)
+        last_done = max(done for _, _, done in self.records)
+        return LatencyStats.from_samples(
+            self.latencies,
+            slo_us=self.slo_us,
+            window_us=last_done - first_arrival,
+            tier=self.tier,
+        )
+
+
+def tier_stats(
+    per_app: Mapping[str, LatencyStats]
+) -> Dict[str, LatencyStats]:
+    """Aggregate per-application stats into per-tier stats.
+
+    The tier summary is recomputed from the concatenated samples when the
+    exact distributions are unavailable -- which they are here, so the
+    aggregation merges counts and takes the conservative view: the tier's
+    percentile is the worst member's (a tier meets its SLO only if every
+    member does), the SLO is the tightest member's, and goodput sums.
+    """
+    tiers: Dict[str, List[LatencyStats]] = {}
+    for stats in per_app.values():
+        tiers.setdefault(stats.tier, []).append(stats)
+    merged: Dict[str, LatencyStats] = {}
+    for tier, members in tiers.items():
+        count = sum(m.count for m in members)
+        violations = sum(m.violations for m in members)
+        merged[tier] = LatencyStats(
+            count=count,
+            p50=max(m.p50 for m in members),
+            p95=max(m.p95 for m in members),
+            p99=max(m.p99 for m in members),
+            mean=sum(m.mean * m.count for m in members) / count,
+            max=max(m.max for m in members),
+            slo_us=min(m.slo_us for m in members),
+            violations=violations,
+            violation_rate=violations / count,
+            goodput_per_s=sum(m.goodput_per_s for m in members),
+            tier=tier,
+        )
+    return merged
+
+
+def format_latency_table(per_app: Mapping[str, LatencyStats]) -> str:
+    """A fixed-width per-application latency report (experiment output)."""
+    from repro.metrics.report import format_table
+
+    headers = [
+        "app",
+        "tier",
+        "requests",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "max_ms",
+        "slo_ms",
+        "viol%",
+        "goodput/s",
+    ]
+    rows = []
+    for app_id in sorted(per_app):
+        s = per_app[app_id]
+        rows.append(
+            [
+                app_id,
+                s.tier,
+                s.count,
+                f"{s.p50 / 1e3:.2f}",
+                f"{s.p95 / 1e3:.2f}",
+                f"{s.p99 / 1e3:.2f}",
+                f"{s.max / 1e3:.2f}",
+                f"{s.slo_us / 1e3:.2f}",
+                f"{100.0 * s.violation_rate:.1f}",
+                f"{s.goodput_per_s:.1f}",
+            ]
+        )
+    return format_table(headers, rows)

@@ -23,6 +23,7 @@ from repro.apps import (
     Gauss,
     MatMul,
     MergeSort,
+    ServiceApp,
     UniformApp,
 )
 from repro.machine import MachineConfig
@@ -59,27 +60,30 @@ def uniform(name: str = "u", n_tasks: int = 20, cost: int = units.ms(5)):
 
 # -- the declarative template registry -----------------------------------------
 #
-# Each entry: name -> builder(app_id, n_tasks, task_cost, scale, seed) that
-# returns a *fresh* Application.  ``n_tasks``/``task_cost`` parametrize the
-# synthetic templates; ``scale`` parametrizes the paper applications.  The
-# builder also reports the expected completed-task count when it is knowable
-# up front (None otherwise), which the catalog runner uses as its census
-# assertion.
+# Each entry: name -> builder(app_id, n_tasks, task_cost, scale, seed,
+# **service_kwargs) that returns a *fresh* Application.  ``n_tasks``/
+# ``task_cost`` parametrize the synthetic templates; ``scale`` the paper
+# applications; the keyword-only service fields (rate_per_s, n_requests,
+# fanout, slo_us, tier, burst_factor) parametrize the open-arrival
+# ``service`` template and are ignored by every other builder.  The
+# builder also reports the expected completed-task count when it is
+# knowable up front (None otherwise), which the catalog runner uses as
+# its census assertion.
 
 
-def _uniform(app_id, n_tasks, task_cost, scale, seed):
+def _uniform(app_id, n_tasks, task_cost, scale, seed, **_service):
     return UniformApp(
         app_id=app_id, n_tasks=n_tasks, task_cost=task_cost, seed=seed
     )
 
 
-def _csection(app_id, n_tasks, task_cost, scale, seed):
+def _csection(app_id, n_tasks, task_cost, scale, seed, **_service):
     return CriticalSectionApp(
         app_id=app_id, n_tasks=n_tasks, task_cost=task_cost, seed=seed
     )
 
 
-def _barrier(app_id, n_tasks, task_cost, scale, seed):
+def _barrier(app_id, n_tasks, task_cost, scale, seed, **_service):
     # n_tasks is interpreted as the phase count; each phase runs four tasks
     # so the straggler sensitivity the template probes survives small cases.
     return BarrierHeavyApp(
@@ -91,6 +95,46 @@ def _barrier(app_id, n_tasks, task_cost, scale, seed):
     )
 
 
+#: Service-template defaults: a modest interactive stream (~a tenth of an
+#: 8-CPU machine), small enough that a corpus case stays a sub-second
+#: pytest item.  The stage cost rides the shared ``task_cost`` knob.
+DEFAULT_SERVICE_RATE = 150.0
+DEFAULT_SERVICE_REQUESTS = 24
+DEFAULT_SERVICE_FANOUT = 2
+
+
+def _service(
+    app_id,
+    n_tasks,
+    task_cost,
+    scale,
+    seed,
+    rate_per_s=None,
+    n_requests=None,
+    fanout=None,
+    slo_us=None,
+    tier=None,
+    burst_factor=None,
+):
+    # ``task_cost`` doubles as the per-stage cost so service cases reuse
+    # the one cost knob every other template already exposes.
+    kwargs = dict(
+        app_id=app_id,
+        rate_per_s=DEFAULT_SERVICE_RATE if rate_per_s is None else rate_per_s,
+        n_requests=(
+            DEFAULT_SERVICE_REQUESTS if n_requests is None else n_requests
+        ),
+        fanout=DEFAULT_SERVICE_FANOUT if fanout is None else fanout,
+        stage_cost=task_cost,
+        slo_us=slo_us,
+        burst_factor=burst_factor,
+        seed=seed,
+    )
+    if tier is not None:
+        kwargs["tier"] = tier
+    return ServiceApp(**kwargs)
+
+
 _SCALE_APPS: Dict[str, Callable] = {
     "fft": FFT,
     "gauss": Gauss,
@@ -100,7 +144,7 @@ _SCALE_APPS: Dict[str, Callable] = {
 
 
 def _make_scale_builder(cls):
-    def build(app_id, n_tasks, task_cost, scale, seed):
+    def build(app_id, n_tasks, task_cost, scale, seed, **_service):
         return cls(app_id=app_id, scale=scale, seed=seed)
 
     return build
@@ -110,6 +154,7 @@ _TEMPLATES: Dict[str, Callable] = {
     "uniform": _uniform,
     "csection": _csection,
     "barrier": _barrier,
+    "service": _service,
     **{name: _make_scale_builder(cls) for name, cls in _SCALE_APPS.items()},
 }
 
@@ -130,11 +175,19 @@ def make_app_factory(
     task_cost: Optional[int] = None,
     scale: Optional[float] = None,
     seed: int = 0,
+    rate_per_s: Optional[float] = None,
+    n_requests: Optional[int] = None,
+    fanout: Optional[int] = None,
+    slo_us: Optional[int] = None,
+    tier: Optional[str] = None,
+    burst_factor: Optional[float] = None,
 ) -> Callable[[], object]:
     """A zero-argument application factory for an :class:`AppSpec`.
 
     Raises ``ValueError`` for unknown template names so a typo in a catalog
-    record fails at build time, not as a silent empty run.
+    record fails at build time, not as a silent empty run.  The service
+    keywords parametrize the ``service`` template's arrival stream and
+    request DAG; every other template ignores them.
     """
     builder = _TEMPLATES.get(template)
     if builder is None:
@@ -145,11 +198,26 @@ def make_app_factory(
     n_tasks = DEFAULT_N_TASKS if n_tasks is None else n_tasks
     task_cost = DEFAULT_TASK_COST if task_cost is None else task_cost
     scale = DEFAULT_SCALE if scale is None else scale
-    return lambda: builder(app_id, n_tasks, task_cost, scale, seed)
+    return lambda: builder(
+        app_id,
+        n_tasks,
+        task_cost,
+        scale,
+        seed,
+        rate_per_s=rate_per_s,
+        n_requests=n_requests,
+        fanout=fanout,
+        slo_us=slo_us,
+        tier=tier,
+        burst_factor=burst_factor,
+    )
 
 
 def expected_tasks(
-    template: str, n_tasks: Optional[int] = None
+    template: str,
+    n_tasks: Optional[int] = None,
+    n_requests: Optional[int] = None,
+    fanout: Optional[int] = None,
 ) -> Optional[int]:
     """The completed-task count a template is known to produce, or ``None``
     when it depends on the application's internal decomposition (the
@@ -159,4 +227,11 @@ def expected_tasks(
         return n_tasks
     if template == "barrier":
         return n_tasks * 4
+    if template == "service":
+        n_requests = (
+            DEFAULT_SERVICE_REQUESTS if n_requests is None else n_requests
+        )
+        fanout = DEFAULT_SERVICE_FANOUT if fanout is None else fanout
+        # One dispatcher segment, ``fanout`` stages, one reduce per request.
+        return n_requests * (fanout + 2)
     return None

@@ -22,6 +22,10 @@ Families:
                    failover, and crash-under-arrival-churn.
 - ``storm``     -- message-level chaos: poll/channel drop/dup/delay,
                    clock jitter, preemption storms.
+- ``service``   -- open-arrival request streams with tail-latency SLOs
+                   next to a batch tenant: steady state, overload,
+                   bursty waves, the slo/demand/equal policy cross, and
+                   a shard crash under live load.
 - ``fuzz``      -- workloads drawn from the seeded random generator, half
                    of them with random fault plans layered on top.
 
@@ -458,6 +462,162 @@ def storm_cases() -> List[ScenarioCase]:
     ]
 
 
+# -- service family ------------------------------------------------------------
+
+
+def _service_mix(
+    rate_per_s: float = 300.0,
+    fanout: int = 3,
+    stage_cost: int = ms(3),
+    slo_us: int = ms(25),
+    burst_factor: Optional[float] = None,
+) -> List[CaseApp]:
+    """An interactive request stream next to a uniform batch tenant.
+
+    Sized so the policies actually diverge: the stream offers ~3.2 of 8
+    CPUs (plus dispatch overhead, it backs up at its 4-CPU equipartition
+    share), the batch tenant brings 400 ms of work so the machine stays
+    contended past the whole ~200 ms arrival window, and the window is
+    long enough that the SLO policy's pressure estimate -- fed by QoS
+    reports that only start once requests complete -- ramps up with most
+    of the stream still ahead of it.
+    """
+    return [
+        CaseApp(
+            "service",
+            n_processes=6,
+            name="svc",
+            task_cost=stage_cost,
+            rate_per_s=rate_per_s,
+            n_requests=60,
+            fanout=fanout,
+            slo_us=slo_us,
+            burst_factor=burst_factor,
+        ),
+        CaseApp("uniform", n_processes=6, name="bg", n_tasks=100, task_cost=ms(4)),
+    ]
+
+
+def service_cases() -> List[ScenarioCase]:
+    """Open-arrival services under every interesting coordinate.
+
+    All cases run the blocking (``idle_spin=False``) threads package: a
+    busy-wait worker deep in its idle backoff picks up a fresh request
+    just as late as a blocked one, but adds milliseconds of noise that
+    would wash out the latency bands.  Bands carry ~2x headroom over the
+    measured seed values; digests pin the exact world.
+    """
+    cases: List[ScenarioCase] = []
+    # The slo/demand/equal policy cross on the same steady mix.  The slo
+    # arm must hold a much tighter tail band than equal, and demand --
+    # which misreads an open stream's between-arrivals backlog snapshot
+    # as idleness -- only has to finish (its tail is unbounded by design).
+    policy_bands = {
+        "slo": Expect(
+            pin_digest=True,
+            min_total_suspensions=1,
+            min_requests=60,
+            max_p99=ms(45),
+            max_violation_rate=0.85,
+        ),
+        "equal": Expect(
+            pin_digest=True,
+            min_total_suspensions=1,
+            min_requests=60,
+            max_p99=ms(65),
+        ),
+        "demand": Expect(
+            pin_digest=True, min_total_suspensions=1, min_requests=60
+        ),
+    }
+    for policy, expect in policy_bands.items():
+        cases.append(
+            _case(
+                f"service-steady-fifo-{policy}",
+                "service",
+                _service_mix(),
+                policy=policy,
+                idle_spin=False,
+                expect=expect,
+            )
+        )
+    cases.append(
+        _case(
+            "service-steady-decay-slo",
+            "service",
+            _service_mix(),
+            scheduler="decay",
+            policy="slo",
+            idle_spin=False,
+            expect=policy_bands["slo"],
+        )
+    )
+    # Overload: the stream alone offers ~6 of 8 CPUs; with the batch
+    # tenant the machine is past capacity, so the band only asserts
+    # completion and the request census, not a tail.
+    cases.append(
+        _case(
+            "service-overload-slo",
+            "service",
+            _service_mix(rate_per_s=450.0, fanout=4, stage_cost=ms(3), slo_us=ms(40)),
+            policy="slo",
+            idle_spin=False,
+            expect=Expect(
+                pin_digest=True, min_total_suspensions=1, min_requests=60
+            ),
+        )
+    )
+    # Bursty wave: same average rate as steady, but the p99 lives inside
+    # the bursts -- the workload that separates tail-aware from mean-aware.
+    cases.append(
+        _case(
+            "service-bursty-wave-slo",
+            "service",
+            _service_mix(burst_factor=4.0),
+            policy="slo",
+            idle_spin=False,
+            expect=Expect(
+                pin_digest=True,
+                min_total_suspensions=1,
+                min_requests=60,
+                max_p99=ms(80),
+            ),
+        )
+    )
+    # A control-plane shard crashes mid-stream; requests must keep
+    # completing (bounded inflation, full census), exercising the QoS
+    # reports' survival across the degraded window.
+    cases.append(
+        _case(
+            "service-shard-crash-slo",
+            "service",
+            _service_mix(),
+            policy="slo",
+            shards=2,
+            idle_spin=False,
+            faults="server-crash:at=30ms,down=120ms,shard=1",
+            expect=replace(_FAULT_EXPECT, min_requests=60),
+        )
+    )
+    # Chaos-under-service: a random fault plan drawn from the same
+    # generator the fuzz family uses, targeting the service mix through
+    # the ordinary spec-validation path.
+    cases.append(
+        _case(
+            "service-fuzz-faulted-slo",
+            "service",
+            _service_mix(),
+            policy="slo",
+            idle_spin=False,
+            faults=random_fault_spec(
+                seed=31, horizon=units.ms(150), n_faults=2, cpus=8
+            ),
+            expect=replace(_FAULT_EXPECT, min_requests=60),
+        )
+    )
+    return cases
+
+
 # -- fuzz family ---------------------------------------------------------------
 
 #: The generator draws arrivals from this mix of *synthetic* templates
@@ -544,6 +704,7 @@ def build_catalog() -> List[ScenarioCase]:
         + hotplug_cases()
         + failover_cases()
         + storm_cases()
+        + service_cases()
         + fuzz_cases()
     )
     names = [case.name for case in cases]

@@ -61,6 +61,12 @@ class CaseOutcome:
     target_expiries: int = 0
     sanitizer_violations: int = 0
     faults_injected: int = 0
+    #: Service-workload figures (zero / None when no app carries an
+    #: open-arrival request stream).  The percentile and violation-rate
+    #: figures are worst-per-app, matching the band semantics.
+    requests_completed: int = 0
+    p99_us: Optional[int] = None
+    violation_rate: Optional[float] = None
     #: Dispatch digest (collected only for digest-pinned cases).
     digest: Optional[str] = None
     #: Fault-free twin makespan and the resulting inflation factor
@@ -124,6 +130,11 @@ def run_case(
     outcome.target_expiries = sum(
         app.target_expiries for app in result.apps.values()
     )
+    if result.service:
+        stats = list(result.service.values())
+        outcome.requests_completed = sum(s.count for s in stats)
+        outcome.p99_us = max(s.p99 for s in stats)
+        outcome.violation_rate = max(s.violation_rate for s in stats)
     outcome.completed = (
         all(app.finished_at is not None for app in result.apps.values())
         and result.sim_time < scenario.max_time
@@ -177,6 +188,30 @@ def run_case(
         outcome.violations.append(
             f"TTL release never engaged: {outcome.target_expiries} "
             f"expiries, expected >= {expect.min_target_expiries}"
+        )
+    if outcome.requests_completed < expect.min_requests:
+        outcome.violations.append(
+            f"request census: {outcome.requests_completed} completed, "
+            f"expected >= {expect.min_requests}"
+        )
+    if (
+        expect.max_p99 is not None
+        and (outcome.p99_us is None or outcome.p99_us > expect.max_p99)
+    ):
+        outcome.violations.append(
+            f"latency band: p99 {outcome.p99_us} us > bound "
+            f"{expect.max_p99} us"
+        )
+    if (
+        expect.max_violation_rate is not None
+        and (
+            outcome.violation_rate is None
+            or outcome.violation_rate > expect.max_violation_rate
+        )
+    ):
+        outcome.violations.append(
+            f"SLO band: violation rate {outcome.violation_rate} > bound "
+            f"{expect.max_violation_rate}"
         )
 
     if expect.max_inflation is not None and outcome.completed:

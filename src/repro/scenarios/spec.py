@@ -24,6 +24,7 @@ from repro.scenarios import builders
 from repro.sim import units
 from repro.workloads.scenario import INHERIT_CONTROL, AppSpec, Scenario
 from repro.workloads.schedulers import SCHEDULER_NAMES
+from repro.workloads.service import SERVICE_TIERS
 
 #: Families a case may belong to (used by filters and coverage reports).
 FAMILIES = (
@@ -34,6 +35,7 @@ FAMILIES = (
     "hotplug",
     "failover",
     "storm",
+    "service",
     "fuzz",
 )
 
@@ -47,6 +49,14 @@ class CaseApp:
     ``task_cost`` parametrize the synthetic templates, ``scale`` the paper
     applications.  ``control`` follows the :class:`AppSpec` convention
     (``"inherit"`` / ``"off"`` / explicit mode).
+
+    The ``service`` template reads the open-arrival fields instead:
+    ``rate_per_s`` / ``n_requests`` parametrize the seeded arrival stream
+    (``burst_factor`` switches it to the two-rate bursty wave),
+    ``fanout`` / ``task_cost`` shape the per-request DAG (``task_cost``
+    doubles as the stage cost), and ``slo_us`` / ``tier`` feed the
+    latency objective the SLO-aware policy steers toward.  Other
+    templates ignore these fields.
     """
 
     template: str
@@ -57,6 +67,12 @@ class CaseApp:
     task_cost: Optional[int] = None
     scale: Optional[float] = None
     control: str = INHERIT_CONTROL
+    rate_per_s: Optional[float] = None
+    n_requests: Optional[int] = None
+    fanout: Optional[int] = None
+    slo_us: Optional[int] = None
+    tier: Optional[str] = None
+    burst_factor: Optional[float] = None
 
     def app_id(self, index: int) -> str:
         return self.name or f"{self.template}{index}"
@@ -85,6 +101,12 @@ class Expect:
         min_target_expiries: at least this many TTL expiries must have
             happened (server-crash cases use it to prove the degraded
             full-parallelism release path actually ran).
+        min_requests: at least this many service requests must complete
+            (the open-arrival census band; 0 = unchecked).
+        max_p99: worst per-app p99 request latency band, microseconds
+            (``None`` = unchecked; only meaningful for service cases).
+        max_violation_rate: worst per-app SLO-violation-rate band, in
+            [0, 1] (``None`` = unchecked).
     """
 
     sanitizer_clean: bool = True
@@ -95,6 +117,9 @@ class Expect:
     min_total_suspensions: int = 0
     max_target_expiries: Optional[int] = None
     min_target_expiries: int = 0
+    min_requests: int = 0
+    max_p99: Optional[int] = None
+    max_violation_rate: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +141,7 @@ class ScenarioCase:
     poll_interval: int = field(default_factory=lambda: units.ms(40))
     seed: int = 0
     max_time: int = field(default_factory=lambda: units.seconds(600))
+    idle_spin: bool = True
     expect: Expect = field(default_factory=Expect)
     notes: str = ""
 
@@ -141,6 +167,11 @@ class ScenarioCase:
             if app.template not in builders.TEMPLATE_NAMES:
                 raise ValueError(
                     f"case {self.name!r}: unknown template {app.template!r}"
+                )
+            if app.tier is not None and app.tier not in SERVICE_TIERS:
+                raise ValueError(
+                    f"case {self.name!r}: unknown service tier {app.tier!r}; "
+                    f"expected one of {SERVICE_TIERS}"
                 )
         if self.faults:
             # Validate the plan grammar eagerly: a corpus entry with a typo
@@ -169,7 +200,12 @@ class ScenarioCase:
     def expected_census(self) -> Dict[str, Optional[int]]:
         """app_id -> knowable completed-task count (None = unknowable)."""
         return {
-            app.app_id(index): builders.expected_tasks(app.template, app.n_tasks)
+            app.app_id(index): builders.expected_tasks(
+                app.template,
+                app.n_tasks,
+                n_requests=app.n_requests,
+                fanout=app.fanout,
+            )
             for index, app in enumerate(self.apps)
         }
 
@@ -194,6 +230,12 @@ class ScenarioCase:
                         task_cost=app.task_cost,
                         scale=app.scale,
                         seed=self.seed + index,
+                        rate_per_s=app.rate_per_s,
+                        n_requests=app.n_requests,
+                        fanout=app.fanout,
+                        slo_us=app.slo_us,
+                        tier=app.tier,
+                        burst_factor=app.burst_factor,
                     ),
                     n_processes=app.n_processes,
                     arrival=app.arrival,
@@ -213,6 +255,7 @@ class ScenarioCase:
             shards=self.shards,
             seed=self.seed,
             max_time=self.max_time,
+            idle_spin=self.idle_spin,
             faults=self.faults,
             supervise=self.supervise,
         )

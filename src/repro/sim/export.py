@@ -63,6 +63,7 @@ TIMELINE_CATEGORIES = frozenset(
         "kernel.cpu_offline_refused",
         "kernel.kill",
         "sanitize.violation",
+        "service.slo_violation",
     }
 )
 
@@ -74,6 +75,7 @@ _LANE_OF_PREFIX = {
     "watchdog": "watchdog",
     "pc": "app",
     "app": "app",
+    "service": "app",
     "sanitize": "sanitize",
 }
 

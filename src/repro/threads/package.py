@@ -30,6 +30,7 @@ from typing import Any, Iterable, List, Optional
 from repro.kernel import Kernel
 from repro.kernel import syscalls as sc
 from repro.kernel.ipc import Channel, ControlBoard
+from repro.metrics.latency import RequestLog
 from repro.sim import units
 from repro.sync import Semaphore
 from repro.threads.control import FINISH, RESUME, ControlState
@@ -143,6 +144,20 @@ class ThreadsPackage:
         #: CPU time burnt polling an empty queue (the busy-wait package's
         #: producer/consumer waste; approximate, in microseconds).
         self.idle_poll_time = 0
+        #: Service tenancy: applications exposing a ``service_profile``
+        #: (see :class:`repro.apps.service.ServiceApp`) get per-request
+        #: latency accounting and piggybacked QoS reports; for everything
+        #: else these stay ``None`` and cost nothing.
+        self.service_profile = getattr(app, "service_profile", None)
+        self.request_log: Optional[RequestLog] = (
+            RequestLog(
+                slo_us=self.service_profile.slo_us,
+                tier=self.service_profile.tier,
+            )
+            if self.service_profile is not None
+            else None
+        )
+        self._slowdown_ewma: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Launching
@@ -196,6 +211,16 @@ class ThreadsPackage:
                     config.server_channel,
                     ("register", self.app_id, self.worker_pids[0], len(initial)),
                 )
+                if self.service_profile is not None and config.board is not None:
+                    # Announce the tier at registration (neutral slowdown:
+                    # no request has completed yet) so the SLO policy can
+                    # classify this tenant from its very first round.
+                    config.board.report_qos(
+                        self.app_id,
+                        0.0,
+                        self.service_profile.tier,
+                        self.kernel.now,
+                    )
             yield from self._enqueue_tasks(initial)
         backoff = config.spin_poll_gap
         # With control off, _control_point would yield nothing forever;
@@ -235,7 +260,10 @@ class ThreadsPackage:
             yield sc.SetNoPreempt(True)
         yield sc.SpinAcquire(self.queue.lock)
         for item in items:
-            self.queue.push(item)
+            if getattr(item, "urgent", False):
+                self.queue.push_front(item)
+            else:
+                self.queue.push(item)
         yield sc.Compute(config.queue_op_cost)
         yield sc.SpinRelease(self.queue.lock)
         if config.use_no_preempt_flags:
@@ -295,12 +323,61 @@ class ThreadsPackage:
             else:
                 result = yield op
         self.tasks_completed += 1
+        if task.meta:
+            self._note_service_completion(task)
         follow = list(self.app.on_task_done(task))
         if follow:
             yield from self._enqueue_tasks(follow)
         self._outstanding -= 1
         if self._outstanding == 0:
             yield from self._finish()
+
+    #: EWMA coefficient of the slowdown estimate reported to the server:
+    #: heavy enough to follow a load swing within a few requests, damped
+    #: enough that one outlier request does not whipsaw the allocation.
+    _SLOWDOWN_ALPHA = 0.3
+
+    def _note_service_completion(self, task: Task) -> None:
+        """Stamp a finished request (reduce task) into the latency log.
+
+        Latency is measured from the request's *intended* arrival instant
+        (carried in ``task.meta``), so dispatcher starvation shows up as
+        real latency -- the open-arrival property.  Trace emissions here
+        are log appends, not engine events, so they cannot perturb the
+        schedule or the golden digests.
+        """
+        meta = task.meta
+        rid = meta.get("service_request")
+        if rid is None or self.request_log is None:
+            return
+        now = self.kernel.now
+        latency = self.request_log.append(rid, meta["service_arrival"], now)
+        slo = meta.get("service_slo", self.request_log.slo_us)
+        self.kernel.trace.emit(
+            now,
+            "service.request",
+            app_id=self.app_id,
+            rid=rid,
+            latency=latency,
+            slo=slo,
+        )
+        if latency > slo:
+            self.kernel.trace.emit(
+                now,
+                "service.slo_violation",
+                app_id=self.app_id,
+                rid=rid,
+                latency=latency,
+                slo=slo,
+            )
+        slowdown = latency / self.service_profile.nominal_latency_us
+        if self._slowdown_ewma is None:
+            self._slowdown_ewma = slowdown
+        else:
+            self._slowdown_ewma = (
+                self._SLOWDOWN_ALPHA * slowdown
+                + (1.0 - self._SLOWDOWN_ALPHA) * self._slowdown_ewma
+            )
 
     def _finish(self):
         """Run by whichever worker completes the last task."""
@@ -374,6 +451,16 @@ class ThreadsPackage:
             # Piggyback our task-queue backlog on the poll: a free
             # shared-memory write that demand-aware policies consume.
             board.report_demand(self.app_id, self._outstanding, self.kernel.now)
+            # Service tenants additionally piggyback their latency
+            # slowdown and tier tag for the SLO-aware policy; ordinary
+            # applications never write the QoS word.
+            if self._slowdown_ewma is not None:
+                board.report_qos(
+                    self.app_id,
+                    self._slowdown_ewma,
+                    self.service_profile.tier,
+                    self.kernel.now,
+                )
             target = board.read(self.app_id)
             ttl = config.stale_target_ttl
             if ttl is not None:

@@ -39,12 +39,19 @@ class Task:
             task.
         phase: optional phase index (used by phased applications).
         meta: free-form application payload.
+        urgent: enqueue at the *front* of the task queue instead of the
+            back.  Service applications mark their dispatcher segments
+            urgent so request admission keeps pace with the arrival clock
+            instead of queueing behind a backlog of stage work -- the
+            task-queue analogue of the elevated priority every real
+            server gives its accept loop.
     """
 
     name: str
     body: TaskBody
     phase: int = 0
     meta: dict = field(default_factory=dict)
+    urgent: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Task {self.name!r} phase={self.phase}>"

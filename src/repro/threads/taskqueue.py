@@ -38,6 +38,13 @@ class TaskQueue:
         if len(self._items) > self.high_water:
             self.high_water = len(self._items)
 
+    def push_front(self, task: object) -> None:
+        """Prepend an urgent task.  Caller must hold :attr:`lock`."""
+        self._items.appendleft(task)
+        self.enqueued += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+
     def pop(self) -> Optional[object]:
         """Remove and return the oldest task, or None when empty.  Caller
         must hold :attr:`lock`."""

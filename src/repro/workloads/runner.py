@@ -25,6 +25,7 @@ from repro.core.plane import SHARDS_ENV_VAR, ControlPlane
 from repro.faults.plan import FAULTS_ENV_VAR, FaultPlan
 from repro.kernel import Kernel, syscalls as sc
 from repro.machine import Machine
+from repro.metrics.latency import LatencyStats, tier_stats
 from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
 from repro.resilience.watchdog import SUPERVISE_ENV_VAR, Watchdog
 from repro.sanitize.invariants import SchedSanitizer, sanitize_mode_from_env
@@ -63,6 +64,9 @@ RUNNER_TRACE_CATEGORIES = (
     "kernel.cpu_online",
     "kernel.cpu_offline_refused",
     "kernel.kill",
+    # Service-workload categories (silent unless a ServiceApp runs).
+    "service.request",
+    "service.slo_violation",
 )
 
 
@@ -93,6 +97,8 @@ class AppResult:
     failed_polls: int = 0
     #: Times the stale-target TTL released a dead server's target.
     target_expiries: int = 0
+    #: Service requests that completed (0 for non-service applications).
+    requests_completed: int = 0
 
 
 @dataclass
@@ -132,6 +138,11 @@ class ScenarioResult:
     watchdog_events: List[Tuple[int, str, Dict[str, Any]]] = field(
         default_factory=list
     )
+    #: Per-application request-latency summaries (service applications
+    #: only; empty when no ServiceApp ran or none completed a request).
+    service: Dict[str, LatencyStats] = field(default_factory=dict)
+    #: The same summaries aggregated per tier (interactive / batch).
+    service_tiers: Dict[str, LatencyStats] = field(default_factory=dict)
 
     def wall_time(self, app_id: str) -> int:
         """Wall time of one application (convenience accessor)."""
@@ -288,13 +299,26 @@ def run_scenario(
         shards = scenario.shards
         if shards is None:
             shards = int(os.environ.get(SHARDS_ENV_VAR) or 1)
-        server = ControlPlane(
-            kernel,
-            shards=shards,
-            interval=scenario.server_interval,
-            policy=policy,
-            weights=weights,
-        )
+        if policy is not None and policy.stateful and shards > 1:
+            # A stateful policy's cross-round memory is pruned against the
+            # application set it last saw; shards see disjoint sets, so a
+            # shared instance would evict the other shards' state every
+            # round.  Hand each shard its own clone -- per-shard weight
+            # tables, derived from one scenario-level configuration.
+            server = ControlPlane(
+                kernel,
+                shards=shards,
+                interval=scenario.server_interval,
+                policy_factory=lambda index: policy.clone(),
+            )
+        else:
+            server = ControlPlane(
+                kernel,
+                shards=shards,
+                interval=scenario.server_interval,
+                policy=policy,
+                weights=weights,
+            )
         server.start()
         if sanitizer is not None:
             sanitizer.watch_server(server, poll_interval=scenario.poll_interval)
@@ -381,10 +405,18 @@ def run_scenario(
         sanitizer.finish()
 
     apps: Dict[str, AppResult] = {}
+    service: Dict[str, LatencyStats] = {}
     for package in packages:
         lock = package.queue.lock
         workers = kernel.processes_of_app(package.app_id)
+        requests_completed = 0
+        if package.request_log is not None:
+            requests_completed = len(package.request_log.records)
+            stats = package.request_log.stats()
+            if stats is not None:
+                service[package.app_id] = stats
         apps[package.app_id] = AppResult(
+            requests_completed=requests_completed,
             cpu_time=sum(p.stats.cpu_time for p in workers),
             idle_poll_time=package.idle_poll_time,
             spin_time=sum(p.stats.spin_time for p in workers),
@@ -440,4 +472,6 @@ def run_scenario(
         fault_events=list(fault_plan.events) if fault_plan else [],
         watchdog_counters=watchdog.summary() if watchdog else None,
         watchdog_events=list(watchdog.events) if watchdog else [],
+        service=service,
+        service_tiers=tier_stats(service) if service else {},
     )

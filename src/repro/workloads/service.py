@@ -1,0 +1,142 @@
+"""Open-arrival request streams for service workloads.
+
+Every workload the repo grew up with is *closed*: a fixed set of tasks
+exists at arrival and the application finishes when they drain, so process
+control's win can only show up as completion time.  A service is *open*:
+requests arrive on their own clock, independent of whether the machine is
+keeping up, and the interesting number is the latency distribution --
+especially its tail -- not the makespan.  This module generates those
+arrival clocks.
+
+All streams are driven by :class:`~repro.sim.rand.RandomStreams` named
+seeded streams, so an arrival sequence is a pure function of its
+parameters and seed: the same call always yields the same tuple of
+microsecond timestamps (the replay-bit-identity contract the property
+tests pin).  Trace-driven streams (:func:`trace_arrivals`) normalize an
+externally recorded timestamp list into the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.sim import units
+from repro.sim.rand import RandomStreams
+
+#: Tier tags carried by service applications and consumed by the
+#: SLO-aware allocation policy: ``interactive`` requests have a latency
+#: target the policy steers toward; ``batch`` tenants absorb the slack.
+TIER_INTERACTIVE = "interactive"
+TIER_BATCH = "batch"
+SERVICE_TIERS = (TIER_INTERACTIVE, TIER_BATCH)
+
+
+def _validate(rate_per_s: float, n_requests: int) -> None:
+    if rate_per_s <= 0:
+        raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+
+
+def poisson_arrivals(
+    rate_per_s: float,
+    n_requests: int,
+    seed: int = 0,
+    stream: str = "service-arrivals",
+) -> Tuple[int, ...]:
+    """The first *n_requests* arrival instants of a seeded Poisson process.
+
+    Inter-arrival gaps are exponential with mean ``1/rate_per_s`` seconds,
+    rounded to whole microseconds (floored at 1 so arrivals are strictly
+    increasing and two requests never alias into one instant).  Fixing the
+    request *count* rather than a time window keeps the workload's task
+    census knowable up front -- the scenario corpus asserts it exactly.
+    """
+    _validate(rate_per_s, n_requests)
+    rng = RandomStreams(seed).fork(stream).get("gaps")
+    mean_gap = units.seconds(1.0 / rate_per_s)
+    times = []
+    t = 0
+    for _ in range(n_requests):
+        t += max(1, int(rng.expovariate(1.0) * mean_gap))
+        times.append(t)
+    return tuple(times)
+
+
+def bursty_arrivals(
+    rate_per_s: float,
+    n_requests: int,
+    seed: int = 0,
+    burst_factor: float = 4.0,
+    duty_cycle: float = 0.5,
+    stream: str = "service-arrivals",
+) -> Tuple[int, ...]:
+    """A two-rate Poisson wave: bursts at ``rate * burst_factor``
+    alternating with lulls, keeping the same *average* rate.
+
+    ``duty_cycle`` is the fraction of requests that belong to bursts.  The
+    lull rate is solved so the long-run mean matches ``rate_per_s`` --
+    the workload that separates a tail-aware policy from a mean-aware one,
+    since the p99 lives almost entirely inside the bursts.
+    """
+    _validate(rate_per_s, n_requests)
+    if burst_factor <= 1.0:
+        raise ValueError(f"burst_factor must be > 1, got {burst_factor}")
+    if not 0.0 < duty_cycle < 1.0:
+        raise ValueError(f"duty_cycle must be in (0, 1), got {duty_cycle}")
+    # duty/burst_rate + (1-duty)/lull_rate = 1/rate  =>  solve lull_rate.
+    lull_share = (1.0 - duty_cycle) / (1.0 / rate_per_s - duty_cycle / (burst_factor * rate_per_s))
+    rng = RandomStreams(seed).fork(stream).get("burst-gaps")
+    phase_len = max(1, int(round(n_requests * duty_cycle / 4)) or 1)
+    times = []
+    t = 0
+    in_burst = True
+    phase_left = phase_len
+    for _ in range(n_requests):
+        rate = rate_per_s * burst_factor if in_burst else lull_share
+        mean_gap = units.seconds(1.0 / rate)
+        t += max(1, int(rng.expovariate(1.0) * mean_gap))
+        times.append(t)
+        phase_left -= 1
+        if phase_left == 0:
+            in_burst = not in_burst
+            phase_left = phase_len
+    return tuple(times)
+
+
+def trace_arrivals(times: Iterable[int]) -> Tuple[int, ...]:
+    """Normalize an externally recorded arrival trace.
+
+    Timestamps are sorted, shifted so the first arrival is at a positive
+    instant, and de-aliased (strictly increasing, minimum 1 us apart) --
+    the invariants the generated streams guarantee by construction.
+    """
+    raw = sorted(int(t) for t in times)
+    if not raw:
+        raise ValueError("arrival trace is empty")
+    if raw[0] < 0:
+        raise ValueError(f"negative arrival time {raw[0]}")
+    normalized = []
+    last = 0
+    for t in raw:
+        t = max(t, last + 1)
+        normalized.append(t)
+        last = t
+    return tuple(normalized)
+
+
+def offered_load(
+    arrivals: Sequence[int], work_per_request_us: int, n_processors: int
+) -> float:
+    """Mean offered load as a fraction of machine capacity.
+
+    ``1.0`` means the arrival stream brings exactly as much work as the
+    processors can retire; above it the queue grows without bound and the
+    tail is governed by the allocation policy, not the service time.
+    """
+    if not arrivals:
+        return 0.0
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    span = max(arrivals[-1], 1)
+    return (len(arrivals) * work_per_request_us) / (span * n_processors)

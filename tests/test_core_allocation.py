@@ -8,6 +8,7 @@ from repro.core.allocation import (
     AllocationRequest,
     DemandPolicy,
     EquipartitionPolicy,
+    SLOPolicy,
     SpaceAwarePolicy,
     WeightedPolicy,
     make_policy,
@@ -26,19 +27,20 @@ def request(n=8, uncontrolled=0, totals=None, demands=None):
 
 class TestRegistry:
     def test_names_cover_the_constructible_policies(self):
-        assert POLICY_NAMES == ("demand", "equal", "weighted")
+        assert POLICY_NAMES == ("demand", "equal", "slo", "weighted")
 
     def test_make_policy_builds_each_name(self):
         assert isinstance(make_policy("equal"), EquipartitionPolicy)
         assert isinstance(make_policy("weighted"), WeightedPolicy)
         assert isinstance(make_policy("demand"), DemandPolicy)
+        assert isinstance(make_policy("slo"), SLOPolicy)
 
     def test_make_policy_forwards_kwargs(self):
         policy = make_policy("weighted", weights={"a": 2.0})
         assert policy.weights == {"a": 2.0}
 
     def test_unknown_name_raises_with_catalog(self):
-        with pytest.raises(ValueError, match="demand, equal, weighted"):
+        with pytest.raises(ValueError, match="demand, equal, slo, weighted"):
             make_policy("fair-share")
 
     def test_base_policy_is_abstract(self):

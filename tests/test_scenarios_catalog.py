@@ -91,6 +91,7 @@ class TestCorpusShape:
             "hotplug",
             "failover",
             "storm",
+            "service",
             "fuzz",
         ):
             assert summary.get(f"family:{family}", 0) >= 4, family
