@@ -18,6 +18,9 @@ applications used by the ablation benchmarks.
 - :class:`~repro.apps.service.ServiceApp` -- an open-arrival
   request-serving tenant: requests arrive on their own clock and carry
   tail-latency objectives.
+- :class:`~repro.apps.pipeline.PipelineApp` -- a streaming pipeline whose
+  items pass fixed stages in order (the dedicated-stage-thread runtime's
+  native workload; also runnable task-queue style for comparisons).
 
 Applications are deterministic given their ``seed``; per-task cost jitter
 models data-dependent work without breaking reproducibility.
@@ -32,6 +35,7 @@ from repro.apps.quicksort import QuickSort
 from repro.apps.jacobi import Jacobi
 from repro.apps.synthetic import BarrierHeavyApp, CriticalSectionApp, UniformApp
 from repro.apps.service import ServiceApp, ServiceProfile
+from repro.apps.pipeline import PipelineApp
 
 __all__ = [
     "Application",
@@ -47,4 +51,5 @@ __all__ = [
     "CriticalSectionApp",
     "ServiceApp",
     "ServiceProfile",
+    "PipelineApp",
 ]

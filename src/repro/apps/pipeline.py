@@ -1,0 +1,115 @@
+"""A streaming pipeline application: items flow through fixed stages.
+
+The pipeline is the runtime model the task-queue package cannot express
+honestly: each stage is served by *dedicated* threads (a decoder thread,
+a filter thread, an encoder thread), an item must pass the stages in
+order, and a stage thread can give its processor back only when its
+stage has momentarily drained -- never "between arbitrary tasks".
+
+:class:`PipelineApp` declares the structure (per-stage costs, item
+count); :class:`~repro.threads.pipeline.PipelinePackage` runs it with one
+queue per stage and a declared floor of one worker per stage.  The app
+also implements the plain :class:`~repro.apps.base.Application` surface
+(``initial_tasks`` / ``on_task_done`` chain the stages as follow-on
+tasks), so the *same* workload can run on the task-queue runtime for
+apples-to-apples comparisons in the mixed-runtime experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import Application
+from repro.kernel import syscalls as sc
+from repro.threads.task import Task
+
+
+class PipelineApp(Application):
+    """*n_items* items, each passing through ``len(stage_costs)`` stages.
+
+    Args:
+        app_id: application identifier.
+        n_items: items to stream through the pipeline.
+        stage_costs: per-stage compute cost of one item, in microseconds.
+        cost_jitter: deterministic per-task jitter fraction (seeded).
+        seed: base RNG seed.
+    """
+
+    #: Streaming applications touch each datum once; keep reload penalties
+    #: modest like the other streaming workloads.
+    cache_footprint = 0.4
+
+    def __init__(
+        self,
+        app_id: str = "pipeline",
+        n_items: int = 48,
+        stage_costs: Sequence[int] = (600, 900, 600),
+        cost_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(app_id, seed)
+        if n_items < 1:
+            raise ValueError("n_items must be >= 1")
+        if not stage_costs:
+            raise ValueError("a pipeline needs at least one stage")
+        if any(cost < 1 for cost in stage_costs):
+            raise ValueError("stage costs must be >= 1")
+        self.n_items = n_items
+        self.stage_costs = tuple(int(cost) for cost in stage_costs)
+        self.cost_jitter = cost_jitter
+        self.items_done = 0
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_costs)
+
+    # ------------------------------------------------------------------
+    # Stage tasks
+    # ------------------------------------------------------------------
+
+    def stage_task(self, item: int, stage: int) -> Task:
+        """The unit of work: *item* passing through *stage*."""
+        cost = self._jitter(
+            self.stage_costs[stage], self.cost_jitter, stream=f"s{stage}"
+        )
+
+        def body(cost: int = cost):
+            yield sc.Compute(cost)
+
+        return Task(
+            name=f"{self.app_id}.i{item}.s{stage}",
+            body=body,
+            phase=stage,
+            meta={"pipe_item": item, "pipe_stage": stage},
+        )
+
+    def next_stage_task(self, task: Task, stage: int) -> Optional[Task]:
+        """The completed *task*'s successor, or ``None`` past the last
+        stage (the item is then finished)."""
+        if stage + 1 >= self.n_stages:
+            self.items_done += 1
+            return None
+        return self.stage_task(task.meta["pipe_item"], stage + 1)
+
+    # ------------------------------------------------------------------
+    # Task-queue compatibility (apples-to-apples baseline)
+    # ------------------------------------------------------------------
+
+    def initial_tasks(self) -> List[Task]:
+        return [self.stage_task(item, 0) for item in range(self.n_items)]
+
+    def on_task_done(self, task: Task) -> List[Task]:
+        follow = self.next_stage_task(task, task.meta["pipe_stage"])
+        return [follow] if follow is not None else []
+
+    # ------------------------------------------------------------------
+
+    def total_work(self) -> int:
+        return self.n_items * sum(self.stage_costs)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "app_id": self.app_id,
+            "n_items": self.n_items,
+            "stage_costs": list(self.stage_costs),
+        }

@@ -28,6 +28,13 @@ Policies:
   slowdown exceeds the target get their water-filling weight boosted (up
   to a cap), so batch tenants absorb the slack.  Optional per-application
   processor floors are restored after water-filling.
+* :class:`CompliancePolicy` (``"compliance"``) -- runtime-compliance
+  feedback on top of the demand caps: adapters piggyback adoption-lag /
+  residual-overshoot / structural-floor telemetry on their polls, and
+  the policy charges processors a tenant never releases as uncontrolled
+  load, stops growing such a tenant's grant, and discounts slow
+  compliers' water-filling weights (uncontrolled load is the
+  zero-compliance end of the same continuum).
 * :class:`SpaceAwarePolicy` -- the Section 7 integration: when the kernel
   runs the ``partition`` space scheduler, each application's target is the
   size of its processor group, so a controlled application is not starved
@@ -45,7 +52,7 @@ weight tables the sharding work left open.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.core.policy import partition_processors
 
@@ -115,6 +122,20 @@ class AllocationRequest:
             at)``.  Slowdown is observed request latency over the
             application's nominal zero-load latency; applications that
             never reported are absent.
+        published: the targets currently in force on the board (last
+            round's decision), so a policy can see what each application
+            was *asked* to run and compare it with what it reports.
+        runnable: runnable process count per application, from the
+            kernel census the server already scans.  The server-side
+            ground truth for residual overshoot: ``runnable - published``
+            is what a tenant is actually holding *right now*, while the
+            board's compliance report only reflects its last safe point.
+        compliance: runtime-compliance telemetry adapters piggyback on
+            their polls: ``app_id ->`` a duck-typed
+            :class:`repro.threads.compliance.ComplianceReport` (the core
+            layer reads its fields via ``getattr`` and must not import
+            the threads layer).  Applications that never reported are
+            absent.
         now: the server's scan time, for aging the telemetry.
     """
 
@@ -124,6 +145,9 @@ class AllocationRequest:
     demands: Mapping[str, int] = field(default_factory=dict)
     demand_reported_at: Mapping[str, int] = field(default_factory=dict)
     qos: Mapping[str, Tuple[float, str, int]] = field(default_factory=dict)
+    published: Mapping[str, int] = field(default_factory=dict)
+    runnable: Mapping[str, int] = field(default_factory=dict)
+    compliance: Mapping[str, Any] = field(default_factory=dict)
     now: int = 0
 
 
@@ -339,6 +363,30 @@ class DemandPolicy(AllocationPolicy):
 _INTERACTIVE_TIER = "interactive"
 
 
+def _restore_floors(
+    targets: Dict[str, int], effective: Mapping[str, int]
+) -> Dict[str, int]:
+    """Raise each floored application to its *effective* floor after
+    water-filling, moving processors from the applications with the most
+    headroom so the total grant is preserved.  Shared by the SLO policy's
+    reservation floors and the compliance policy's structural runtime
+    floors; mutates and returns *targets*."""
+    for app_id in sorted(effective):
+        while targets[app_id] < effective[app_id]:
+            donors = [
+                other
+                for other in targets
+                if other != app_id
+                and targets[other] > max(1, effective.get(other, 1))
+            ]
+            if not donors:
+                break  # no headroom anywhere: floors oversubscribed
+            donor = max(donors, key=lambda other: (targets[other], other))
+            targets[donor] -= 1
+            targets[app_id] += 1
+    return targets
+
+
 class SLOPolicy(DemandPolicy):
     """Latency-objective feedback: boost starving interactive tenants.
 
@@ -480,20 +528,7 @@ class SLOPolicy(DemandPolicy):
             for app_id, floor in self.floors.items()
             if app_id in targets
         }
-        for app_id in sorted(effective):
-            while targets[app_id] < effective[app_id]:
-                donors = [
-                    other
-                    for other in targets
-                    if other != app_id
-                    and targets[other] > max(1, effective.get(other, 1))
-                ]
-                if not donors:
-                    break  # no headroom anywhere: floors oversubscribed
-                donor = max(donors, key=lambda other: (targets[other], other))
-                targets[donor] -= 1
-                targets[app_id] += 1
-        return targets
+        return _restore_floors(targets, effective)
 
     def allocate(self, request: AllocationRequest) -> Dict[str, int]:
         for app_id in list(self._pressure):
@@ -539,6 +574,170 @@ class SLOPolicy(DemandPolicy):
         return f"{self.name}({','.join(knobs)})"
 
 
+class CompliancePolicy(DemandPolicy):
+    """Compliance-aware water-filling: grant real processors, not virtual.
+
+    The equipartition arithmetic assumes every application actually runs
+    the target it is given.  A runtime that complies *slowly* (a
+    fork-join package that can only shrink at the next phase barrier) or
+    *partially* (a pipeline whose structural floor of one worker per
+    stage exceeds its grant) keeps extra workers runnable, and granting
+    those processors to someone else just recreates the Section 2
+    time-slicing the control server exists to remove.  An uncontrolled
+    tenant is the limit of that continuum -- permanently runnable,
+    never adopting -- and the paper already *charges* it against the
+    pool instead of allocating around it.  This policy extends the same
+    treatment to the partially-compliant middle, using the
+    :class:`~repro.threads.compliance.ComplianceReport` telemetry the
+    runtime adapters piggyback on their polls:
+
+    * **charge residual overshoot**: workers a tenant reports runnable
+      above its published target (beyond its structural floor) are load
+      the machine already carries; they are added (rounded up) to the
+      uncontrolled count before water-filling, so compliant tenants are
+      handed processors that exist rather than shares of an
+      overcommitted machine;
+    * **stop re-granting**: a tenant holding such *non-structural*
+      overshoot is capped at its currently-published target -- its
+      grant can shrink with the pool but never grows while it sits on
+      processors it was already asked to release;
+    * **discount slow compliers**: a tenant whose last adoption lag
+      exceeded ``lag_grace`` has its water-filling weight divided by the
+      pressure ratio ``lag / lag_grace`` (capped at ``discount_cap``),
+      shifting share toward runtimes that hand processors back promptly;
+    * **respect declared floors**: overshoot up to a runtime's declared
+      structural floor (``min(floor, process count)``) is never capped
+      or discounted -- the pipeline cannot run below one worker per
+      stage, and punishing physics only oscillates.  The floor is
+      instead *reserved*: the tenant's cap rises to it and the target is
+      restored to it after water-filling (the SLO policy's reservation
+      mechanism), so the published target moves to where the runtime can
+      actually follow it and the capacity it occupies is accounted
+      inside the fill rather than double-charged.
+
+    Tenants that report no compliance telemetry (or whose report went
+    stale past ``report_ttl``) are treated like prompt compliers, which
+    degrades to plain demand-aware behaviour -- exactly how unknown
+    demand degrades to equipartition.  The policy keeps no cross-round
+    state of its own, so a single instance may serve several shards.
+    """
+
+    name = "compliance"
+
+    #: Default adoption-lag grace: the paper's 6-second poll interval --
+    #: a runtime cannot be expected to adopt faster than it polls.
+    DEFAULT_LAG_GRACE = 6_000_000
+
+    def __init__(
+        self,
+        weights: Optional[Mapping[str, float]] = None,
+        smoothing: Optional[float] = None,
+        report_ttl: Optional[int] = None,
+        lag_grace: int = DEFAULT_LAG_GRACE,
+        discount_cap: float = 4.0,
+    ) -> None:
+        super().__init__(
+            weights=weights, smoothing=smoothing, report_ttl=report_ttl
+        )
+        if lag_grace <= 0:
+            raise ValueError(f"lag_grace must be positive, got {lag_grace}")
+        if discount_cap < 1.0:
+            raise ValueError(f"discount_cap must be >= 1, got {discount_cap}")
+        self.lag_grace = lag_grace
+        self.discount_cap = discount_cap
+
+    def _fresh_report(
+        self, app_id: str, request: AllocationRequest
+    ) -> Optional[Any]:
+        """The usable compliance report for *app_id* (duck-typed), or
+        ``None`` when the tenant never reported or the report went stale."""
+        report = request.compliance.get(app_id)
+        if report is None:
+            return None
+        if self.report_ttl is not None:
+            reported_at = getattr(report, "reported_at", None)
+            if (
+                reported_at is None
+                or request.now - reported_at > self.report_ttl
+            ):
+                return None
+        return report
+
+    def allocate(self, request: AllocationRequest) -> Dict[str, int]:
+        for app_id in list(self._smoothed):
+            if app_id not in request.app_totals:
+                del self._smoothed[app_id]
+        # Demand caps, exactly as DemandPolicy computes them.
+        caps: Dict[str, int] = {}
+        for app_id, total in request.app_totals.items():
+            demand = self._effective_demand(app_id, request)
+            if demand is None:
+                caps[app_id] = total
+            else:
+                caps[app_id] = max(1, min(total, demand))
+        weights = {
+            app_id: weight
+            for app_id, weight in self.weights.items()
+            if app_id in caps
+        }
+        charged = 0
+        floors: Dict[str, int] = {}
+        for app_id, total in request.app_totals.items():
+            report = self._fresh_report(app_id, request)
+            if report is None:
+                continue
+            floor = min(max(1, int(getattr(report, "floor", 1))), total)
+            if floor > 1:
+                # Structural floor: reserve the capacity it will occupy
+                # regardless, and restore it after water-filling.
+                floors[app_id] = floor
+                caps[app_id] = max(caps[app_id], floor)
+            published = request.published.get(app_id)
+            overshoot = float(getattr(report, "overshoot", 0.0) or 0.0)
+            runnable = request.runnable.get(app_id)
+            if published is not None and runnable is not None:
+                # The kernel census is fresher than the board report: a
+                # deferred-adoption runtime only samples its overshoot at
+                # safe points, so mid-phase holdouts never show up there.
+                overshoot = max(overshoot, float(runnable - published))
+            structural = (
+                max(0, floor - published) if published is not None else floor
+            )
+            excess = max(0.0, overshoot - structural)
+            if excess > 0.0 and published is not None:
+                # Workers held above the published grant (and above the
+                # structural floor, which the reservation below already
+                # accounts for) are load the rest of the machine sees;
+                # charge them like uncontrolled processes (rounded up: a
+                # fractional holdout still occupies a processor) and
+                # never grow the grant of a tenant sitting on processors
+                # it was asked to free.
+                charged += int(excess) + (excess > int(excess))
+                caps[app_id] = min(caps[app_id], max(published, floor))
+            lag = getattr(report, "adoption_lag_us", None)
+            if lag is not None and lag > self.lag_grace:
+                penalty = min(self.discount_cap, lag / self.lag_grace)
+                weights[app_id] = weights.get(app_id, 1.0) / penalty
+        if all(weight == 1.0 for weight in weights.values()):
+            # Equal weights: take the unweighted fill's exact tie-breaks.
+            weights = None  # type: ignore[assignment]
+        targets = partition_processors(
+            request.n_processors,
+            request.uncontrolled_runnable + charged,
+            caps,
+            weights=weights or None,
+        )
+        return _restore_floors(targets, floors)
+
+    def describe(self) -> str:
+        knobs = [f"grace={self.lag_grace}us", f"cap={self.discount_cap:g}"]
+        if self.smoothing is not None:
+            knobs.append(f"ewma={self.smoothing:g}")
+        if self.report_ttl is not None:
+            knobs.append(f"report_ttl={self.report_ttl}us")
+        return f"{self.name}({','.join(knobs)})"
+
+
 class SpaceAwarePolicy(AllocationPolicy):
     """Targets from the space partition's processor groups (Section 7).
 
@@ -571,6 +770,7 @@ _FACTORIES: Dict[str, Callable[..., AllocationPolicy]] = {
     "weighted": WeightedPolicy,
     "demand": DemandPolicy,
     "slo": SLOPolicy,
+    "compliance": CompliancePolicy,
 }
 
 #: Names accepted by :func:`make_policy` / ``Scenario.policy`` / ``--policy``

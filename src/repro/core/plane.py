@@ -74,6 +74,12 @@ class _RoutedBoard:
     ) -> None:
         self._board.report_qos(app_id, slowdown, tier, now)
 
+    def report_compliance(self, app_id: str, report: object) -> None:
+        self._board.report_compliance(app_id, report)
+
+    def posted_at(self, app_id: str) -> Optional[int]:
+        return self._board.posted_at(app_id)
+
     @property
     def updated_at(self) -> Optional[int]:
         return self._board.updated_at

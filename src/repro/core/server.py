@@ -26,6 +26,7 @@ mechanism by which the paper's centralized bottleneck scales out.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.allocation import (
@@ -40,6 +41,29 @@ from repro.kernel import syscalls as sc
 from repro.kernel.ipc import Channel, ControlBoard
 from repro.kernel.process import Process
 from repro.sim import units
+
+
+#: One-time guard for the legacy-registration deprecation warning (module
+#: level, so a fleet of sharded servers does not repeat it per shard).
+_legacy_registration_warned = False
+
+
+def _warn_legacy_registration(app_id: str) -> None:
+    """Deprecation notice for 3-tuple ``("register", app_id, root_pid)``
+    messages; senders should include their initial backlog as a fourth
+    field so demand-aware policies see the application from round one."""
+    global _legacy_registration_warned
+    if _legacy_registration_warned:
+        return
+    _legacy_registration_warned = True
+    warnings.warn(
+        f"application {app_id!r} registered with the legacy 3-tuple "
+        "('register', app_id, root_pid); send ('register', app_id, "
+        "root_pid, initial_backlog) instead -- the 3-tuple form is "
+        "deprecated and will be removed",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
 
 class ProcessControlServer:
@@ -388,6 +412,9 @@ class ProcessControlServer:
                     demands=self.board.demand_snapshot(),
                     demand_reported_at=dict(self.board.demand_reported_at),
                     qos=self.board.qos_snapshot(),
+                    published=dict(self.board.targets),
+                    runnable=dict(summary.runnable_by_app),
+                    compliance=self.board.compliance_snapshot(),
                     now=now,
                 )
             )
@@ -445,9 +472,14 @@ class ProcessControlServer:
             if row.runnable and not row.controllable and row.pid not in own_pids
         )
         app_totals: Dict[str, int] = {}
+        app_runnable: Dict[str, int] = {}
         for row in table:
             if row.controllable and row.app_id is not None:
                 app_totals[row.app_id] = app_totals.get(row.app_id, 0) + 1
+                if row.runnable:
+                    app_runnable[row.app_id] = (
+                        app_runnable.get(row.app_id, 0) + 1
+                    )
         if plane is not None:
             index = self._shard_index
             app_totals = {
@@ -471,6 +503,9 @@ class ProcessControlServer:
                 demands=self.board.demand_snapshot(),
                 demand_reported_at=dict(self.board.demand_reported_at),
                 qos=self.board.qos_snapshot(),
+                published=dict(self.board.targets),
+                runnable=app_runnable,
+                compliance=self.board.compliance_snapshot(),
                 now=now,
             )
         )
@@ -490,6 +525,8 @@ class ProcessControlServer:
                         self.board.report_demand(
                             app_id, extra[0], self.kernel.now
                         )
+                    else:
+                        _warn_legacy_registration(app_id)
                     self.kernel.trace.emit(
                         self.kernel.now,
                         "server.register",

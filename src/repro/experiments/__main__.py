@@ -32,6 +32,7 @@ from repro.experiments import (
     figure4,
     figure5,
     mechanisms,
+    mixed_runtime,
     policies,
     recovery,
     service,
@@ -47,6 +48,7 @@ _EXPERIMENTS = {
     "claims": claims.main,
     "ablations": ablations.main,
     "mechanisms": mechanisms.main,
+    "mixed-runtime": mixed_runtime.main,
     "policies": policies.main,
     "service": service.main,
     "steady-state": steady_state.main,

@@ -112,6 +112,19 @@ class ControlBoard:
         #: without a service profile never write here, so the channel is
         #: free for every pre-existing workload.
         self.qos: Dict[str, Tuple[float, str, int]] = {}
+        #: Compliance telemetry runtime adapters piggyback on their polls:
+        #: ``app_id -> ComplianceReport`` (see
+        #: :mod:`repro.threads.compliance`).  Records how promptly the
+        #: tenant's runtime adopts published targets (adoption lag), how
+        #: many workers it keeps runnable above its target (residual
+        #: overshoot), and how often it reaches a safe suspension point.
+        #: Consumed by the compliance-aware allocation policy; free
+        #: shared-memory writes, so the channel costs nothing when unused.
+        self.compliance: Dict[str, Any] = {}
+        #: When each application's *current* target value was first
+        #: posted (used by adapters to measure adoption lag from the
+        #: server's publish instant rather than from their own read).
+        self.target_posted_at: Dict[str, int] = {}
         #: Liveness word: the owning server stamps the board every scan
         #: (see :meth:`beat`); a watchdog that sees the stamp stop aging
         #: declares the server suspect.  Free shared-memory traffic.
@@ -134,12 +147,15 @@ class ControlBoard:
         self.version += 1
         version = self.version
         app_version = self.app_version
+        posted_at = self.target_posted_at
         for app_id, target in targets.items():
             if old.get(app_id) != target:
                 app_version[app_id] = version
+                posted_at[app_id] = now
         for app_id in old:
             if app_id not in targets:
                 app_version.pop(app_id, None)
+                posted_at.pop(app_id, None)
         self.targets = dict(targets)
         self.updated_at = now
         # A live post supersedes any recorded crash of a prior incarnation.
@@ -167,13 +183,16 @@ class ControlBoard:
         self.version += 1
         version = self.version
         app_version = self.app_version
+        posted_at = self.target_posted_at
         for app_id, target in changes.items():
             if targets.get(app_id) != target:
                 targets[app_id] = target
                 app_version[app_id] = version
+                posted_at[app_id] = now
         for app_id in removals:
             if targets.pop(app_id, None) is not None:
                 app_version.pop(app_id, None)
+                posted_at.pop(app_id, None)
         self.updated_at = now
         self.crashed_at = None
 
@@ -231,6 +250,23 @@ class ControlBoard:
     def qos_snapshot(self) -> Dict[str, Tuple[float, str, int]]:
         """The reported QoS estimates (server side; absent = no report)."""
         return dict(self.qos)
+
+    def report_compliance(self, app_id: str, report: Any) -> None:
+        """Record *app_id*'s runtime-compliance report (application side).
+
+        *report* is a :class:`repro.threads.compliance.ComplianceReport`
+        (kept duck-typed here: the kernel layer must not import the
+        threads layer).
+        """
+        self.compliance[app_id] = report
+
+    def compliance_snapshot(self) -> Dict[str, Any]:
+        """The reported compliance telemetry (server side)."""
+        return dict(self.compliance)
+
+    def posted_at(self, app_id: str) -> Optional[int]:
+        """When *app_id*'s current target value was first published."""
+        return self.target_posted_at.get(app_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ControlBoard v{self.version} {self.targets}>"

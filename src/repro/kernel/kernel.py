@@ -1311,6 +1311,11 @@ class Kernel:
             journal_len=len(self._census_journal),
             uncontrolled_runnable=uncontrolled,
             alive=alive,
+            runnable_by_app={
+                app: count
+                for app, count in self._runnable_per_app.items()
+                if app is not None
+            },
         )
         cost = (
             self.config.getrunnable_base_cost

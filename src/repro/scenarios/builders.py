@@ -23,6 +23,7 @@ from repro.apps import (
     Gauss,
     MatMul,
     MergeSort,
+    PipelineApp,
     ServiceApp,
     UniformApp,
 )
@@ -95,6 +96,24 @@ def _barrier(app_id, n_tasks, task_cost, scale, seed, **_service):
     )
 
 
+#: The ``pipeline`` template's fixed stage count: three stages whose
+#: middle stage costs 1.5x the outer ones (the classic decode/filter/
+#: encode shape with a bottleneck stage), all riding the shared
+#: ``task_cost`` knob.  A fixed count keeps ``expected_tasks`` knowable.
+PIPELINE_STAGES = 3
+
+
+def _pipeline(app_id, n_tasks, task_cost, scale, seed, **_service):
+    # n_tasks is interpreted as the item count; each item crosses all
+    # three stages, so the census expects n_tasks * PIPELINE_STAGES.
+    return PipelineApp(
+        app_id=app_id,
+        n_items=n_tasks,
+        stage_costs=(task_cost, task_cost * 3 // 2, task_cost),
+        seed=seed,
+    )
+
+
 #: Service-template defaults: a modest interactive stream (~a tenth of an
 #: 8-CPU machine), small enough that a corpus case stays a sub-second
 #: pytest item.  The stage cost rides the shared ``task_cost`` knob.
@@ -154,6 +173,7 @@ _TEMPLATES: Dict[str, Callable] = {
     "uniform": _uniform,
     "csection": _csection,
     "barrier": _barrier,
+    "pipeline": _pipeline,
     "service": _service,
     **{name: _make_scale_builder(cls) for name, cls in _SCALE_APPS.items()},
 }
@@ -227,6 +247,9 @@ def expected_tasks(
         return n_tasks
     if template == "barrier":
         return n_tasks * 4
+    if template == "pipeline":
+        # Every item crosses every stage; each crossing is one task.
+        return n_tasks * PIPELINE_STAGES
     if template == "service":
         n_requests = (
             DEFAULT_SERVICE_REQUESTS if n_requests is None else n_requests

@@ -26,6 +26,12 @@ Families:
                    next to a batch tenant: steady state, overload,
                    bursty waves, the slo/demand/equal policy cross, and
                    a shard crash under live load.
+- ``runtime``   -- mixed threads-package runtimes: fork-join tenants that
+                   adopt targets only at phase barriers, pipelines with
+                   structural one-worker-per-stage floors, and the
+                   equal-vs-compliance policy cross over the mix, with
+                   adoption-lag bands pinning the deferred-adoption
+                   contract.
 - ``fuzz``      -- workloads drawn from the seeded random generator, half
                    of them with random fault plans layered on top.
 
@@ -618,6 +624,120 @@ def service_cases() -> List[ScenarioCase]:
     return cases
 
 
+# -- runtime family ------------------------------------------------------------
+
+
+def runtime_cases() -> List[ScenarioCase]:
+    """Mixed threads-package runtimes under process control.
+
+    The fork-join cases must record at least one *completed adoption*
+    (publish-to-conformance cycle) with a bounded lag -- the deferred-
+    adoption contract as corpus data.  The pipeline cases pin the
+    structural floor world: one worker per stage never suspends, and the
+    census still completes every stage crossing.  The mixed cases run
+    the whole continuum (taskqueue / forkjoin / pipeline / an
+    uncontrolled tenant) under both the paper's equipartition and the
+    compliance policy, digest-pinned.
+    """
+    adoption_expect = Expect(
+        pin_digest=True,
+        min_total_suspensions=1,
+        min_adoptions=1,
+        # A fork-join runtime adopts within a phase: 4-task phases at
+        # ~3 ms across >= 2 granted workers, plus poll cadence -- tens of
+        # ms.  The band carries ~2x headroom over the measured seed.
+        max_adoption_lag=ms(60),
+    )
+    cases = [
+        _case(
+            "runtime-forkjoin-adoption",
+            "runtime",
+            [
+                CaseApp(
+                    "barrier",
+                    n_processes=6,
+                    n_tasks=8,
+                    task_cost=ms(3),
+                    runtime="forkjoin",
+                ),
+                CaseApp("uniform", n_processes=6, n_tasks=40, task_cost=ms(4)),
+                CaseApp(
+                    "uniform",
+                    n_processes=6,
+                    arrival=ms(4),
+                    n_tasks=32,
+                    task_cost=ms(4),
+                ),
+            ],
+            policy="equal",
+            expect=adoption_expect,
+        ),
+        _case(
+            "runtime-pipeline-floor",
+            "runtime",
+            [
+                CaseApp(
+                    "pipeline",
+                    n_processes=6,
+                    n_tasks=32,
+                    task_cost=ms(2),
+                    runtime="pipeline",
+                ),
+                CaseApp("uniform", n_processes=6, n_tasks=40, task_cost=ms(4)),
+                CaseApp(
+                    "uniform",
+                    n_processes=6,
+                    arrival=ms(4),
+                    n_tasks=32,
+                    task_cost=ms(4),
+                ),
+            ],
+            policy="equal",
+            expect=Expect(pin_digest=True, min_total_suspensions=1),
+        ),
+    ]
+    # The full continuum -- taskqueue, forkjoin, pipeline, and a greedy
+    # uncontrolled tenant -- under equipartition vs the compliance policy.
+    continuum = [
+        CaseApp("uniform", n_processes=5, n_tasks=32, task_cost=ms(4)),
+        CaseApp(
+            "barrier",
+            n_processes=5,
+            arrival=ms(2),
+            n_tasks=6,
+            task_cost=ms(3),
+            runtime="forkjoin",
+        ),
+        CaseApp(
+            "pipeline",
+            n_processes=5,
+            arrival=ms(4),
+            n_tasks=24,
+            task_cost=ms(2),
+            runtime="pipeline",
+        ),
+        CaseApp(
+            "uniform",
+            n_processes=4,
+            arrival=ms(6),
+            n_tasks=24,
+            task_cost=ms(4),
+            control="off",
+        ),
+    ]
+    for policy in ("equal", "compliance"):
+        cases.append(
+            _case(
+                f"runtime-continuum-{policy}",
+                "runtime",
+                continuum,
+                policy=policy,
+                expect=Expect(pin_digest=True, min_total_suspensions=1),
+            )
+        )
+    return cases
+
+
 # -- fuzz family ---------------------------------------------------------------
 
 #: The generator draws arrivals from this mix of *synthetic* templates
@@ -705,6 +825,7 @@ def build_catalog() -> List[ScenarioCase]:
         + failover_cases()
         + storm_cases()
         + service_cases()
+        + runtime_cases()
         + fuzz_cases()
     )
     names = [case.name for case in cases]

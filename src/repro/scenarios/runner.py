@@ -67,6 +67,11 @@ class CaseOutcome:
     requests_completed: int = 0
     p99_us: Optional[int] = None
     violation_rate: Optional[float] = None
+    #: Runtime-compliance figures (all zero when no adapter ever adopted
+    #: a target).  ``adoption_lag_max_us`` is worst-per-app, matching the
+    #: band semantics.
+    adoptions: int = 0
+    adoption_lag_max_us: int = 0
     #: Dispatch digest (collected only for digest-pinned cases).
     digest: Optional[str] = None
     #: Fault-free twin makespan and the resulting inflation factor
@@ -129,6 +134,10 @@ def run_case(
     outcome.suspensions = sum(app.suspensions for app in result.apps.values())
     outcome.target_expiries = sum(
         app.target_expiries for app in result.apps.values()
+    )
+    outcome.adoptions = sum(app.adoptions for app in result.apps.values())
+    outcome.adoption_lag_max_us = max(
+        (app.adoption_lag_max for app in result.apps.values()), default=0
     )
     if result.service:
         stats = list(result.service.values())
@@ -212,6 +221,20 @@ def run_case(
         outcome.violations.append(
             f"SLO band: violation rate {outcome.violation_rate} > bound "
             f"{expect.max_violation_rate}"
+        )
+
+    if outcome.adoptions < expect.min_adoptions:
+        outcome.violations.append(
+            f"adoption census: {outcome.adoptions} completed adoption(s), "
+            f"expected >= {expect.min_adoptions}"
+        )
+    if (
+        expect.max_adoption_lag is not None
+        and outcome.adoption_lag_max_us > expect.max_adoption_lag
+    ):
+        outcome.violations.append(
+            f"adoption-lag band: {outcome.adoption_lag_max_us} us > "
+            f"bound {expect.max_adoption_lag} us"
         )
 
     if expect.max_inflation is not None and outcome.completed:

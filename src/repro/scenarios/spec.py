@@ -22,6 +22,7 @@ from repro.core.allocation import POLICY_NAMES
 from repro.faults.plan import parse_spec as parse_fault_spec
 from repro.scenarios import builders
 from repro.sim import units
+from repro.threads.adapter import RUNTIME_NAMES
 from repro.workloads.scenario import INHERIT_CONTROL, AppSpec, Scenario
 from repro.workloads.schedulers import SCHEDULER_NAMES
 from repro.workloads.service import SERVICE_TIERS
@@ -36,6 +37,7 @@ FAMILIES = (
     "failover",
     "storm",
     "service",
+    "runtime",
     "fuzz",
 )
 
@@ -48,7 +50,10 @@ class CaseApp:
     (:data:`repro.scenarios.builders.TEMPLATE_NAMES`); ``n_tasks`` /
     ``task_cost`` parametrize the synthetic templates, ``scale`` the paper
     applications.  ``control`` follows the :class:`AppSpec` convention
-    (``"inherit"`` / ``"off"`` / explicit mode).
+    (``"inherit"`` / ``"off"`` / explicit mode).  ``runtime`` picks the
+    threads-package runtime the application runs on
+    (:data:`repro.threads.RUNTIME_NAMES`; the ``pipeline`` runtime needs
+    a stage-declaring template like ``"pipeline"``).
 
     The ``service`` template reads the open-arrival fields instead:
     ``rate_per_s`` / ``n_requests`` parametrize the seeded arrival stream
@@ -67,6 +72,7 @@ class CaseApp:
     task_cost: Optional[int] = None
     scale: Optional[float] = None
     control: str = INHERIT_CONTROL
+    runtime: str = "taskqueue"
     rate_per_s: Optional[float] = None
     n_requests: Optional[int] = None
     fanout: Optional[int] = None
@@ -107,6 +113,13 @@ class Expect:
             (``None`` = unchecked; only meaningful for service cases).
         max_violation_rate: worst per-app SLO-violation-rate band, in
             [0, 1] (``None`` = unchecked).
+        min_adoptions: across all applications, at least this many
+            completed target adoptions (publish-to-conformance cycles)
+            must have been recorded -- the runtime family's proof that
+            deferred adoption actually engaged.
+        max_adoption_lag: worst per-app adoption lag band, microseconds
+            (``None`` = unchecked).  A fork-join runtime's lag is bounded
+            by its phase length; the band pins that contract as data.
     """
 
     sanitizer_clean: bool = True
@@ -120,6 +133,8 @@ class Expect:
     min_requests: int = 0
     max_p99: Optional[int] = None
     max_violation_rate: Optional[float] = None
+    min_adoptions: int = 0
+    max_adoption_lag: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -172,6 +187,11 @@ class ScenarioCase:
                 raise ValueError(
                     f"case {self.name!r}: unknown service tier {app.tier!r}; "
                     f"expected one of {SERVICE_TIERS}"
+                )
+            if app.runtime not in RUNTIME_NAMES:
+                raise ValueError(
+                    f"case {self.name!r}: unknown runtime {app.runtime!r}; "
+                    f"expected one of {RUNTIME_NAMES}"
                 )
         if self.faults:
             # Validate the plan grammar eagerly: a corpus entry with a typo
@@ -240,6 +260,7 @@ class ScenarioCase:
                     n_processes=app.n_processes,
                     arrival=app.arrival,
                     control=app.control,
+                    runtime=app.runtime,
                 )
             )
         return Scenario(

@@ -25,7 +25,35 @@ Public API
 from repro.threads.task import SpawnTask, Task, compute_task
 from repro.threads.taskqueue import TaskQueue
 from repro.threads.control import ControlState
+from repro.threads.adapter import (
+    RUNTIME_NAMES,
+    ForkJoinAdapter,
+    PipelineAdapter,
+    RuntimeAdapter,
+    TaskQueueAdapter,
+)
 from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
+from repro.threads.forkjoin import ForkJoinPackage
+from repro.threads.pipeline import PipelinePackage
+
+#: Runtime name -> package class (the scenario layer's dispatch table).
+PACKAGE_CLASSES = {
+    ThreadsPackage.runtime: ThreadsPackage,
+    ForkJoinPackage.runtime: ForkJoinPackage,
+    PipelinePackage.runtime: PipelinePackage,
+}
+
+
+def make_package(runtime, kernel, app, n_processes, config=None):
+    """Build the package for *runtime* (``"taskqueue"`` is the default)."""
+    try:
+        package_class = PACKAGE_CLASSES[runtime or "taskqueue"]
+    except KeyError:
+        raise ValueError(
+            f"unknown runtime {runtime!r}; expected one of {RUNTIME_NAMES}"
+        ) from None
+    return package_class(kernel, app, n_processes, config=config)
+
 
 __all__ = [
     "Task",
@@ -33,6 +61,15 @@ __all__ = [
     "compute_task",
     "TaskQueue",
     "ControlState",
+    "RuntimeAdapter",
+    "TaskQueueAdapter",
+    "ForkJoinAdapter",
+    "PipelineAdapter",
+    "RUNTIME_NAMES",
+    "PACKAGE_CLASSES",
+    "make_package",
     "ThreadsPackage",
     "ThreadsPackageConfig",
+    "ForkJoinPackage",
+    "PipelinePackage",
 ]

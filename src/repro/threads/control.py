@@ -60,6 +60,20 @@ class ControlState:
         self.consecutive_failures = 0
         self.first_failure = None
 
+    def note_fresh_deferred(self, now: int) -> None:
+        """Record a fresh poll *without* adopting the width.
+
+        Deferred-adoption runtimes (fork-join, pipeline) reset their
+        backoff state the moment the board answers, but move
+        :attr:`target` only when their workers actually conform at a safe
+        point -- the adapter does that part.
+        """
+        self.polls += 1
+        self.last_fresh = now
+        self.poll_gap = None
+        self.consecutive_failures = 0
+        self.first_failure = None
+
     def note_failure(
         self,
         now: int,

@@ -33,7 +33,8 @@ from repro.kernel.ipc import Channel, ControlBoard
 from repro.metrics.latency import RequestLog
 from repro.sim import units
 from repro.sync import Semaphore
-from repro.threads.control import FINISH, RESUME, ControlState
+from repro.threads.adapter import RuntimeAdapter, TaskQueueAdapter
+from repro.threads.control import FINISH
 from repro.threads.task import SpawnTask, Task
 from repro.threads.taskqueue import POISON, TaskQueue
 
@@ -107,6 +108,18 @@ class ThreadsPackageConfig:
             raise ValueError("poll_interval must be positive")
         if self.stale_target_ttl is not None and self.stale_target_ttl <= 0:
             raise ValueError("stale_target_ttl must be positive")
+        if (
+            self.stale_target_ttl is not None
+            and self.stale_target_ttl < self.poll_interval
+        ):
+            # A TTL shorter than the poll interval would declare the board
+            # stale on every single poll: the package would back off and
+            # expire a perfectly healthy server's target.
+            raise ValueError(
+                f"stale_target_ttl ({self.stale_target_ttl}) must be >= "
+                f"poll_interval ({self.poll_interval}); a shorter TTL "
+                "expires a healthy target on every poll"
+            )
         if self.poll_backoff_max is None:
             self.poll_backoff_max = 8 * self.poll_interval
         elif self.poll_backoff_max < self.poll_interval:
@@ -114,7 +127,21 @@ class ThreadsPackageConfig:
 
 
 class ThreadsPackage:
-    """Run one application's tasks on a pool of worker processes."""
+    """Run one application's tasks on a pool of worker processes.
+
+    The control-plane interaction (registration, polling, target
+    adoption, compliance telemetry) lives in :attr:`adapter`, a
+    :class:`~repro.threads.adapter.RuntimeAdapter`; this class is the
+    *task-queue* runtime.  Subclasses override :attr:`adapter_class` and
+    the worker program to model runtimes with different safe points
+    (:class:`~repro.threads.forkjoin.ForkJoinPackage`,
+    :class:`~repro.threads.pipeline.PipelinePackage`).
+    """
+
+    #: Runtime name (mirrors the adapter's; used by scenario specs).
+    runtime = "taskqueue"
+    #: The adapter this package class speaks the control plane through.
+    adapter_class = TaskQueueAdapter
 
     def __init__(
         self,
@@ -132,7 +159,11 @@ class ThreadsPackage:
         self.config = config or ThreadsPackageConfig()
 
         self.queue = TaskQueue(f"{self.app_id}.queue")
-        self.control = ControlState(n_processes)
+        self.adapter: RuntimeAdapter = self.adapter_class(self)
+        # The adapter owns the shared control block; alias it so every
+        # existing consumer (runner, sanitizer, tests) reads the same
+        # object under the historical name.
+        self.control = self.adapter.control
         self.work_sem = Semaphore(f"{self.app_id}.work", initial=0)
 
         self.worker_pids: List[int] = []
@@ -204,23 +235,7 @@ class ThreadsPackage:
                     f"application {self.app_id!r} produced no initial tasks"
                 )
             if config.server_channel is not None and config.control is not None:
-                # The initial backlog rides on the registration message so
-                # demand-aware policies see a demand figure before the
-                # application's first poll.
-                yield sc.ChannelSend(
-                    config.server_channel,
-                    ("register", self.app_id, self.worker_pids[0], len(initial)),
-                )
-                if self.service_profile is not None and config.board is not None:
-                    # Announce the tier at registration (neutral slowdown:
-                    # no request has completed yet) so the SLO policy can
-                    # classify this tenant from its very first round.
-                    config.board.report_qos(
-                        self.app_id,
-                        0.0,
-                        self.service_profile.tier,
-                        self.kernel.now,
-                    )
+                yield from self.adapter.register(len(initial))
             yield from self._enqueue_tasks(initial)
         backoff = config.spin_poll_gap
         # With control off, _control_point would yield nothing forever;
@@ -229,9 +244,10 @@ class ThreadsPackage:
         # The peek below models a raw shared-memory read, so reading the
         # deque directly (not via len(queue)) is both faithful and free.
         queue_items = self.queue._items
+        control_point = self.adapter.control_point
         while True:
             if controlled:
-                yield from self._control_point(index)
+                yield from control_point(index)
             if config.idle_spin:
                 # Busy-wait package: peek (free shared-memory read), take
                 # the lock only when there might be work, back off while
@@ -254,29 +270,33 @@ class ThreadsPackage:
 
     # -- queue protocol (spinlock-guarded critical sections) ---------------
 
-    def _locked_push(self, items: Iterable[object]):
+    def _locked_push(self, items: Iterable[object], queue: Optional[TaskQueue] = None):
         config = self.config
+        if queue is None:
+            queue = self.queue
         if config.use_no_preempt_flags:
             yield sc.SetNoPreempt(True)
-        yield sc.SpinAcquire(self.queue.lock)
+        yield sc.SpinAcquire(queue.lock)
         for item in items:
             if getattr(item, "urgent", False):
-                self.queue.push_front(item)
+                queue.push_front(item)
             else:
-                self.queue.push(item)
+                queue.push(item)
         yield sc.Compute(config.queue_op_cost)
-        yield sc.SpinRelease(self.queue.lock)
+        yield sc.SpinRelease(queue.lock)
         if config.use_no_preempt_flags:
             yield sc.SetNoPreempt(False)
 
-    def _locked_pop(self):
+    def _locked_pop(self, queue: Optional[TaskQueue] = None):
         config = self.config
+        if queue is None:
+            queue = self.queue
         if config.use_no_preempt_flags:
             yield sc.SetNoPreempt(True)
-        yield sc.SpinAcquire(self.queue.lock)
+        yield sc.SpinAcquire(queue.lock)
         yield sc.Compute(config.queue_op_cost)
-        item = self.queue.pop()
-        yield sc.SpinRelease(self.queue.lock)
+        item = queue.pop()
+        yield sc.SpinRelease(queue.lock)
         if config.use_no_preempt_flags:
             yield sc.SetNoPreempt(False)
         if item is None:
@@ -285,18 +305,31 @@ class ThreadsPackage:
             )
         return item
 
-    def _locked_try_pop(self):
+    def _locked_try_pop(self, queue: Optional[TaskQueue] = None):
         """Like :meth:`_locked_pop` but returns None on a lost race."""
         config = self.config
+        if queue is None:
+            queue = self.queue
         if config.use_no_preempt_flags:
             yield sc.SetNoPreempt(True)
-        yield sc.SpinAcquire(self.queue.lock)
+        yield sc.SpinAcquire(queue.lock)
         yield sc.Compute(config.queue_op_cost)
-        item = self.queue.pop()
-        yield sc.SpinRelease(self.queue.lock)
+        item = queue.pop()
+        yield sc.SpinRelease(queue.lock)
         if config.use_no_preempt_flags:
             yield sc.SetNoPreempt(False)
         return item
+
+    def queue_lock_stats(self) -> "tuple[int, int, int]":
+        """(contended acquisitions, holder-preempted encounters, spin time)
+        summed over this package's queue locks -- one lock here; stage
+        runtimes aggregate several."""
+        lock = self.queue.lock
+        return (
+            lock.contended_acquisitions,
+            lock.holder_preempted_encounters,
+            lock.total_spin_time,
+        )
 
     def _enqueue_tasks(self, tasks: List[Task]):
         self._outstanding += len(tasks)
@@ -402,129 +435,12 @@ class ThreadsPackage:
     # ------------------------------------------------------------------
     # Process control (the safe suspension point)
     # ------------------------------------------------------------------
+    # The logic lives in the runtime adapter (repro.threads.adapter); the
+    # historical method names stay as thin delegates for callers and docs
+    # that address the package directly.
 
     def _control_point(self, index: int):
-        config = self.config
-        control = self.control
-        if config.control is None or self.finished:
-            return
-        now = self.kernel.now
-        gap = control.poll_gap
-        if gap is None:
-            gap = config.poll_interval
-        if control.last_poll is None or now - control.last_poll >= gap:
-            control.last_poll = now
-            yield from self._poll()
-        if control.should_resume():
-            pid = control.suspended.popleft()
-            control.runnable_workers += 1
-            control.resumes += 1
-            self.kernel.trace.emit(
-                self.kernel.now, "pc.resume", app_id=self.app_id, pid=pid
-            )
-            yield sc.SendSignal(pid, RESUME)
-        while not self.finished and control.should_suspend():
-            my_pid = self.worker_pids[index]
-            control.runnable_workers -= 1
-            control.suspended.append(my_pid)
-            control.suspensions += 1
-            self.kernel.trace.emit(
-                self.kernel.now, "pc.suspend", app_id=self.app_id, pid=my_pid
-            )
-            payload = yield sc.WaitSignal()
-            self.kernel.trace.emit(
-                self.kernel.now,
-                "pc.wake",
-                app_id=self.app_id,
-                pid=my_pid,
-                payload=payload,
-            )
-            # The waker already re-counted us among the runnable workers.
+        yield from self.adapter.control_point(index)
 
     def _poll(self):
-        """Ask the server (or the process table) for our current target."""
-        config = self.config
-        control = self.control
-        if config.control == CONTROL_CENTRALIZED:
-            yield sc.Compute(config.poll_cost)
-            board = config.board
-            # Piggyback our task-queue backlog on the poll: a free
-            # shared-memory write that demand-aware policies consume.
-            board.report_demand(self.app_id, self._outstanding, self.kernel.now)
-            # Service tenants additionally piggyback their latency
-            # slowdown and tier tag for the SLO-aware policy; ordinary
-            # applications never write the QoS word.
-            if self._slowdown_ewma is not None:
-                board.report_qos(
-                    self.app_id,
-                    self._slowdown_ewma,
-                    self.service_profile.tier,
-                    self.kernel.now,
-                )
-            target = board.read(self.app_id)
-            ttl = config.stale_target_ttl
-            if ttl is not None:
-                now = self.kernel.now
-                # A recorded crash epoch marks the word stale immediately
-                # (the server is known dead, however recently it wrote);
-                # otherwise staleness is the plain write-age test.
-                crash_epoch = getattr(board, "crashed_at", None)
-                stale = crash_epoch is not None or (
-                    board.updated_at is not None and now - board.updated_at > ttl
-                )
-                if target is not None and not stale:
-                    control.note_fresh(target, now)
-                    self.kernel.trace.emit(
-                        now, "pc.poll", app_id=self.app_id, target=target
-                    )
-                elif control.target is not None or control.last_fresh is not None:
-                    # The server went silent after having spoken to us:
-                    # back off the polling and, past the TTL, release the
-                    # stale target (should_resume then restores the full
-                    # worker pool).  A server that has not yet published
-                    # anything for us is not a failure -- that is the
-                    # ordinary state right after arrival.
-                    expired = control.note_failure(
-                        now,
-                        config.poll_interval,
-                        config.poll_backoff_max,
-                        ttl,
-                        crash_epoch=crash_epoch,
-                    )
-                    self.kernel.trace.emit(
-                        now,
-                        "pc.poll_failed",
-                        app_id=self.app_id,
-                        stale=stale,
-                        failures=control.consecutive_failures,
-                    )
-                    if expired:
-                        self.kernel.trace.emit(
-                            now, "pc.target_expired", app_id=self.app_id
-                        )
-                return
-        else:
-            # Decentralized: scan the process table and partition locally.
-            # This is the design Section 4.2 rejects as "too inefficient";
-            # the ablation benchmarks quantify why.
-            from repro.core.policy import partition_processors
-
-            table = yield sc.GetProcessTable()
-            yield sc.Compute(config.poll_cost)
-            uncontrolled = sum(
-                1 for row in table if row.runnable and not row.controllable
-            )
-            app_totals: dict = {}
-            for row in table:
-                if row.controllable and row.app_id is not None:
-                    app_totals[row.app_id] = app_totals.get(row.app_id, 0) + 1
-            targets = partition_processors(
-                self.kernel.online_processor_count(), uncontrolled, app_totals
-            )
-            target = targets.get(self.app_id)
-        if target is not None:
-            control.target = target
-            control.polls += 1
-            self.kernel.trace.emit(
-                self.kernel.now, "pc.poll", app_id=self.app_id, target=target
-            )
+        yield from self.adapter.poll()

@@ -1,0 +1,182 @@
+"""The pipeline runtime: dedicated stage threads, one queue per stage.
+
+Each worker process is bound to one pipeline stage for life -- the model
+of a media or packet pipeline where the decoder thread *is* the decoder.
+Items flow stage to stage through per-stage queues, so the package's lock
+footprint is one spinlock per stage rather than one global queue lock.
+
+Safe-point semantics (see :class:`~repro.threads.adapter.PipelineAdapter`):
+
+* a stage worker reaches a safe suspension point only when its stage
+  queue has drained; mid-stream suspension would dam the pipe for every
+  downstream stage;
+* the first worker of each stage (indices ``0..n_stages-1``) is the stage
+  *primary* and never suspends -- the runtime's declared floor is one
+  worker per stage, reported to the server through the compliance
+  telemetry;
+* surplus workers suspend through the standard ``pc.suspend`` /
+  ``pc.resume`` / ``pc.wake`` protocol, so the trace lint's pairing
+  invariants hold exactly as for the task-queue runtime.
+
+A target below the floor is adopted *at* the floor: the pipeline cannot
+run narrower without stalling a stage entirely.  The residual overshoot
+above the published target is reported as structural, and the
+``compliance`` allocation policy charges it as uncontrolled load instead
+of re-granting processors the pipeline can never release.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.kernel import Kernel, syscalls as sc
+from repro.threads.adapter import PipelineAdapter
+from repro.threads.control import FINISH
+from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
+from repro.threads.task import SpawnTask, Task
+from repro.threads.taskqueue import TaskQueue
+
+
+class PipelinePackage(ThreadsPackage):
+    """Run a :class:`~repro.apps.pipeline.PipelineApp` with stage threads."""
+
+    runtime = "pipeline"
+    adapter_class = PipelineAdapter
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        app: Any,
+        n_processes: int,
+        config: Optional[ThreadsPackageConfig] = None,
+    ) -> None:
+        n_stages = getattr(app, "n_stages", None)
+        if n_stages is None:
+            raise ValueError(
+                f"application {app.app_id!r} declares no stages; the "
+                "pipeline runtime needs a PipelineApp-style application"
+            )
+        if n_processes < n_stages:
+            raise ValueError(
+                f"pipeline {app.app_id!r} has {n_stages} stages but only "
+                f"{n_processes} workers; every stage needs a dedicated one"
+            )
+        # The adapter's floor property reads n_stages, so set it before
+        # the base constructor builds the adapter.
+        self.n_stages = n_stages
+        super().__init__(kernel, app, n_processes, config=config)
+        self.stage_queues: List[TaskQueue] = [
+            TaskQueue(f"{self.app_id}.stage{stage}")
+            for stage in range(n_stages)
+        ]
+        # Keep the base attribute pointing at a real queue (stage 0 feeds
+        # the pipe); aggregate accessors go through queue_lock_stats().
+        self.queue = self.stage_queues[0]
+        #: Stage each worker index is bound to (round-robin, so the first
+        #: n_stages workers are the per-stage primaries).
+        self.stage_of = [
+            index % n_stages for index in range(n_processes)
+        ]
+
+    def queue_lock_stats(self) -> "tuple[int, int, int]":
+        contended = holder_preempted = spin_time = 0
+        for queue in self.stage_queues:
+            lock = queue.lock
+            contended += lock.contended_acquisitions
+            holder_preempted += lock.holder_preempted_encounters
+            spin_time += lock.total_spin_time
+        return (contended, holder_preempted, spin_time)
+
+    # ------------------------------------------------------------------
+    # Worker program
+    # ------------------------------------------------------------------
+
+    def _worker_program(self, index: int):
+        config = self.config
+        if index == 0:
+            initial = list(self.app.initial_tasks())
+            if not initial:
+                raise ValueError(
+                    f"application {self.app_id!r} produced no initial tasks"
+                )
+            if config.server_channel is not None and config.control is not None:
+                yield from self.adapter.register(len(initial))
+            # Outstanding counts *items in flight*, not stage tasks.
+            self._outstanding += len(initial)
+            yield from self._locked_push(initial, queue=self.stage_queues[0])
+        stage = self.stage_of[index]
+        queue = self.stage_queues[stage]
+        queue_items = queue._items
+        backoff = config.spin_poll_gap
+        controlled = config.control is not None
+        stage_point = self.adapter.stage_point
+        while True:
+            if controlled:
+                yield from stage_point(index)
+            if self.finished:
+                return
+            item = None
+            if queue_items:
+                item = yield from self._locked_try_pop(queue=queue)
+            if item is None:
+                # Stage drained (or lost the race): spin-poll with backoff
+                # like the busy-wait task-queue package.
+                self.idle_poll_time += backoff
+                yield sc.Compute(backoff)
+                backoff = min(backoff * 2, config.spin_poll_max_gap)
+                continue
+            backoff = config.spin_poll_gap
+            yield from self._run_stage_task(item, stage)
+
+    # ------------------------------------------------------------------
+    # Stage execution
+    # ------------------------------------------------------------------
+
+    def _run_stage_task(self, task: Task, stage: int):
+        if self.config.task_overhead:
+            yield sc.Compute(self.config.task_overhead)
+        body = task.body()
+        result: Any = None
+        while True:
+            try:
+                op = body.send(result)
+            except StopIteration:
+                break
+            if isinstance(op, SpawnTask):
+                # Dynamic work joins the spawning worker's own stage.
+                yield from self._locked_push(
+                    [op.task], queue=self.stage_queues[stage]
+                )
+                result = None
+            else:
+                result = yield op
+        self.tasks_completed += 1
+        follow = self.app.next_stage_task(task, stage)
+        if follow is not None:
+            yield from self._locked_push(
+                [follow], queue=self.stage_queues[stage + 1]
+            )
+            return
+        # The item cleared the last stage.
+        if task.meta:
+            self._note_service_completion(task)
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            yield from self._finish()
+
+    def _finish(self):
+        """Run by whichever worker drains the last item's last stage."""
+        self.finished = True
+        self.finished_at = self.kernel.now
+        self.kernel.trace.emit(
+            self.finished_at,
+            "app.finished",
+            app_id=self.app_id,
+            wall_time=self.wall_time,
+        )
+        control = self.control
+        while control.suspended:
+            pid = control.suspended.popleft()
+            control.runnable_workers += 1
+            yield sc.SendSignal(pid, FINISH)
+        # No poison tasks: workers exit on the finished flag.

@@ -30,6 +30,7 @@ from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
 from repro.resilience.watchdog import SUPERVISE_ENV_VAR, Watchdog
 from repro.sanitize.invariants import SchedSanitizer, sanitize_mode_from_env
 from repro.sim import Engine, TraceLog
+from repro.threads import make_package
 from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
 from repro.workloads.scenario import Scenario
 from repro.workloads.schedulers import make_scheduler
@@ -99,6 +100,18 @@ class AppResult:
     target_expiries: int = 0
     #: Service requests that completed (0 for non-service applications).
     requests_completed: int = 0
+    #: Runtime the application ran on ("taskqueue"/"forkjoin"/"pipeline").
+    runtime: str = "taskqueue"
+    #: Compliance telemetry (see :mod:`repro.threads.compliance`):
+    #: completed target adoptions, publish-to-conformance lag statistics,
+    #: peak runnable overshoot above the published target, and the
+    #: observed safe-suspension-point cadence.
+    adoptions: int = 0
+    adoption_lag_mean: Optional[float] = None
+    adoption_lag_max: int = 0
+    overshoot_peak: float = 0.0
+    safe_points: int = 0
+    safe_point_gap_mean: Optional[float] = None
 
 
 @dataclass
@@ -194,6 +207,11 @@ def _resolve_policy(scenario: Scenario, kernel: Kernel) -> Optional[AllocationPo
     equipartition -- kept as ``None`` so the default path constructs the
     exact same objects as before this layer existed).
     """
+    if isinstance(scenario.policy, AllocationPolicy):
+        # An experiment handed over a pre-built instance to pin knobs the
+        # name registry's defaults would miss (e.g. a CompliancePolicy
+        # whose lag grace matches the experiment's poll cadence).
+        return scenario.policy
     name = scenario.policy
     if name is None:
         name = os.environ.get(POLICY_ENV_VAR) or None
@@ -359,8 +377,8 @@ def run_scenario(
             use_no_preempt_flags=scenario.use_no_preempt_flags,
             stale_target_ttl=stale_target_ttl,
         )
-        package = ThreadsPackage(
-            kernel, app, spec.n_processes, config=package_config
+        package = make_package(
+            spec.runtime, kernel, app, spec.n_processes, config=package_config
         )
         packages.append(package)
         engine.schedule(spec.arrival, package.start, f"arrive-{app.app_id}")
@@ -407,7 +425,10 @@ def run_scenario(
     apps: Dict[str, AppResult] = {}
     service: Dict[str, LatencyStats] = {}
     for package in packages:
-        lock = package.queue.lock
+        lock_contended, lock_holder_preempted, lock_spin_time = (
+            package.queue_lock_stats()
+        )
+        tracker = package.adapter.tracker
         workers = kernel.processes_of_app(package.app_id)
         requests_completed = 0
         if package.request_log is not None:
@@ -417,6 +438,13 @@ def run_scenario(
                 service[package.app_id] = stats
         apps[package.app_id] = AppResult(
             requests_completed=requests_completed,
+            runtime=package.runtime,
+            adoptions=tracker.adoptions,
+            adoption_lag_mean=tracker.mean_adoption_lag,
+            adoption_lag_max=tracker.max_adoption_lag,
+            overshoot_peak=tracker.overshoot_peak,
+            safe_points=tracker.safe_points,
+            safe_point_gap_mean=tracker.mean_safe_point_gap,
             cpu_time=sum(p.stats.cpu_time for p in workers),
             idle_poll_time=package.idle_poll_time,
             spin_time=sum(p.stats.spin_time for p in workers),
@@ -430,9 +458,9 @@ def run_scenario(
             polls=package.control.polls,
             suspensions=package.control.suspensions,
             resumes=package.control.resumes,
-            queue_lock_contended=lock.contended_acquisitions,
-            queue_lock_holder_preempted=lock.holder_preempted_encounters,
-            queue_lock_spin_time=lock.total_spin_time,
+            queue_lock_contended=lock_contended,
+            queue_lock_holder_preempted=lock_holder_preempted,
+            queue_lock_spin_time=lock_spin_time,
             failed_polls=package.control.failed_polls,
             target_expiries=package.control.target_expiries,
         )

@@ -34,12 +34,19 @@ class AppSpec:
             application that refuses to control its processes (the greedy
             applications of Section 7's fairness discussion),
             ``"centralized"`` or ``"decentralized"``.
+        runtime: the threads-package runtime the application runs on --
+            ``"taskqueue"`` (default), ``"forkjoin"`` (suspension only at
+            phase barriers), or ``"pipeline"`` (dedicated stage threads;
+            requires a stage-declaring app like
+            :class:`repro.apps.pipeline.PipelineApp`).  See
+            :data:`repro.threads.RUNTIME_NAMES` and docs/RUNTIMES.md.
     """
 
     factory: Callable[[], Any]
     n_processes: int
     arrival: int = 0
     control: Optional[str] = INHERIT_CONTROL
+    runtime: str = "taskqueue"
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -54,6 +61,13 @@ class AppSpec:
             "decentralized",
         ):
             raise ValueError(f"unknown per-app control mode {self.control!r}")
+        from repro.threads.adapter import RUNTIME_NAMES
+
+        if self.runtime not in RUNTIME_NAMES:
+            raise ValueError(
+                f"unknown runtime {self.runtime!r}; "
+                f"expected one of {RUNTIME_NAMES}"
+            )
 
     def control_mode(self, scenario_control: Optional[str]) -> Optional[str]:
         """Resolve the effective control mode for this application."""
@@ -111,7 +125,11 @@ class Scenario:
         policy: allocation-policy name the control server should run
             (see :data:`repro.core.allocation.POLICY_NAMES`, plus
             ``"space"`` which wraps the live partition scheduler and
-            requires ``scheduler="partition"``).  ``None`` (the default)
+            requires ``scheduler="partition"``), or a pre-built
+            :class:`~repro.core.allocation.AllocationPolicy` instance when
+            an experiment needs non-default knobs (e.g. a
+            ``CompliancePolicy`` with an experiment-scale lag grace).
+            ``None`` (the default)
             falls back to the ``REPRO_POLICY`` environment knob and then
             the paper's equipartition.
         shards: process-control server count; each shard owns a processor
@@ -148,7 +166,7 @@ class Scenario:
     idle_spin: bool = True
     use_no_preempt_flags: bool = False
     server_partition_aware: bool = False
-    policy: Optional[str] = None
+    policy: Any = None  # name string, AllocationPolicy instance, or None
     shards: Optional[int] = None
     seed: int = 0
     max_time: int = field(default_factory=lambda: units.seconds(3600))

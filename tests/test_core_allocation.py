@@ -6,6 +6,7 @@ from repro.core.allocation import (
     POLICY_NAMES,
     AllocationPolicy,
     AllocationRequest,
+    CompliancePolicy,
     DemandPolicy,
     EquipartitionPolicy,
     SLOPolicy,
@@ -16,31 +17,37 @@ from repro.core.allocation import (
 from repro.core.policy import partition_processors
 
 
-def request(n=8, uncontrolled=0, totals=None, demands=None):
+def request(n=8, uncontrolled=0, totals=None, demands=None, **kw):
     return AllocationRequest(
         n_processors=n,
         uncontrolled_runnable=uncontrolled,
         app_totals=totals if totals is not None else {"a": 6, "b": 6},
         demands=demands if demands is not None else {},
+        **kw,
     )
 
 
 class TestRegistry:
     def test_names_cover_the_constructible_policies(self):
-        assert POLICY_NAMES == ("demand", "equal", "slo", "weighted")
+        assert POLICY_NAMES == (
+            "compliance", "demand", "equal", "slo", "weighted"
+        )
 
     def test_make_policy_builds_each_name(self):
         assert isinstance(make_policy("equal"), EquipartitionPolicy)
         assert isinstance(make_policy("weighted"), WeightedPolicy)
         assert isinstance(make_policy("demand"), DemandPolicy)
         assert isinstance(make_policy("slo"), SLOPolicy)
+        assert isinstance(make_policy("compliance"), CompliancePolicy)
 
     def test_make_policy_forwards_kwargs(self):
         policy = make_policy("weighted", weights={"a": 2.0})
         assert policy.weights == {"a": 2.0}
 
     def test_unknown_name_raises_with_catalog(self):
-        with pytest.raises(ValueError, match="demand, equal, slo, weighted"):
+        with pytest.raises(
+            ValueError, match="compliance, demand, equal, slo, weighted"
+        ):
             make_policy("fair-share")
 
     def test_base_policy_is_abstract(self):
@@ -115,6 +122,182 @@ class TestDemandPolicy:
         policy = DemandPolicy({"gone": 9.0})
         targets = policy.allocate(request(totals={"a": 4}))
         assert targets == {"a": 4}
+
+
+def _report(
+    runtime="taskqueue",
+    floor=1,
+    overshoot=0.0,
+    adoption_lag_us=None,
+    max_adoption_lag_us=0,
+    safe_point_gap_us=None,
+    adoptions=0,
+    reported_at=0,
+):
+    from repro.threads.compliance import ComplianceReport
+
+    return ComplianceReport(
+        runtime=runtime,
+        floor=floor,
+        overshoot=overshoot,
+        adoption_lag_us=adoption_lag_us,
+        max_adoption_lag_us=max_adoption_lag_us,
+        safe_point_gap_us=safe_point_gap_us,
+        adoptions=adoptions,
+        reported_at=reported_at,
+    )
+
+
+class TestCompliancePolicy:
+    def test_no_telemetry_degrades_to_demand_policy(self):
+        req = request(demands={"a": 2, "b": 6})
+        assert CompliancePolicy().allocate(req) == DemandPolicy().allocate(req)
+
+    def test_overshoot_is_charged_like_uncontrolled_load(self):
+        # "a" was asked to run 4 but holds 3 extra workers runnable; the
+        # compliant "b" must be granted only processors that exist.
+        req = request(
+            published={"a": 4, "b": 4},
+            compliance={"a": _report(overshoot=3.0)},
+        )
+        targets = CompliancePolicy().allocate(req)
+        baseline = EquipartitionPolicy().allocate(request())
+        assert baseline == {"a": 4, "b": 4}
+        # 8 CPUs - 3 held = 5 to divide; "a" is capped at its published 4.
+        assert targets["a"] + targets["b"] <= 5
+
+    def test_overshooter_grant_never_grows(self):
+        req = request(
+            totals={"a": 6, "b": 2},
+            published={"a": 2, "b": 2},
+            compliance={"a": _report(overshoot=2.0)},
+        )
+        targets = CompliancePolicy().allocate(req)
+        # Without the cap "a" would water-fill to 6 - uncontrolled share.
+        assert targets["a"] <= 2
+
+    def test_fractional_overshoot_charges_a_whole_processor(self):
+        req = request(
+            published={"a": 4, "b": 4},
+            compliance={"a": _report(overshoot=0.5)},
+        )
+        targets = CompliancePolicy().allocate(req)
+        assert targets["a"] + targets["b"] <= 7
+
+    def test_structural_floor_is_charged_but_not_penalized(self):
+        # A pipeline with floor 3 was published 1: its 2-worker overshoot
+        # is physics, so its cap is *raised* to the floor (and restored
+        # after water-filling), not punished.
+        req = request(
+            n=4,
+            totals={"pipe": 4, "b": 4},
+            published={"pipe": 1, "b": 3},
+            compliance={"pipe": _report(runtime="pipeline", floor=3, overshoot=2.0)},
+        )
+        targets = CompliancePolicy().allocate(req)
+        assert targets["pipe"] == 3
+
+    def test_excess_beyond_the_floor_is_penalized(self):
+        # Floor 2, published 2, overshoot 3: one structural-free worker
+        # held above target; the cap clamps at max(published, floor) = 2.
+        req = request(
+            totals={"a": 8, "b": 8},
+            published={"a": 2, "b": 6},
+            compliance={"a": _report(floor=2, overshoot=3.0)},
+        )
+        targets = CompliancePolicy().allocate(req)
+        assert targets["a"] == 2
+
+    def test_slow_complier_weight_is_discounted(self):
+        # Same totals, no overshoot right now, but "a" took 4x the grace
+        # to adopt its last shrink: its share shrinks below "b"'s.
+        policy = CompliancePolicy(lag_grace=1000)
+        req = request(
+            n=6,
+            published={"a": 3, "b": 3},
+            compliance={
+                "a": _report(adoption_lag_us=4000, adoptions=1),
+                "b": _report(adoption_lag_us=100, adoptions=1),
+            },
+        )
+        targets = policy.allocate(req)
+        assert targets["a"] < targets["b"]
+
+    def test_prompt_complier_keeps_equal_share(self):
+        policy = CompliancePolicy(lag_grace=1000)
+        req = request(
+            published={"a": 4, "b": 4},
+            compliance={
+                "a": _report(adoption_lag_us=500, adoptions=2),
+                "b": _report(adoption_lag_us=100, adoptions=2),
+            },
+        )
+        assert policy.allocate(req) == {"a": 4, "b": 4}
+
+    def test_census_outranks_a_stale_overshoot_sample(self):
+        # The board report says compliant (a deferred-adoption runtime
+        # samples overshoot only at safe points), but the kernel census
+        # sees 7 runnable against a published 4: the live figure wins.
+        req = request(
+            published={"a": 4, "b": 4},
+            runnable={"a": 7, "b": 4},
+            compliance={"a": _report(overshoot=0.0), "b": _report()},
+        )
+        targets = CompliancePolicy().allocate(req)
+        assert targets["a"] <= 4  # capped: mid-phase holdout, no growth
+        assert targets["a"] + targets["b"] <= 5  # 3 held charged
+
+    def test_census_at_or_below_published_changes_nothing(self):
+        req = request(
+            published={"a": 4, "b": 4},
+            runnable={"a": 4, "b": 3},
+            compliance={"a": _report(), "b": _report()},
+        )
+        assert CompliancePolicy().allocate(req) == {"a": 4, "b": 4}
+
+    def test_board_overshoot_still_wins_when_larger(self):
+        # A tenant whose own report admits a bigger overshoot than the
+        # census snapshot (workers blocked at the census instant) is
+        # charged by its own admission.
+        req = request(
+            published={"a": 4, "b": 4},
+            runnable={"a": 5, "b": 4},
+            compliance={"a": _report(overshoot=3.0), "b": _report()},
+        )
+        targets = CompliancePolicy().allocate(req)
+        assert targets["a"] + targets["b"] <= 5
+
+    def test_stale_report_is_ignored(self):
+        policy = CompliancePolicy(report_ttl=1000)
+        req = request(
+            published={"a": 4, "b": 4},
+            compliance={"a": _report(overshoot=3.0, reported_at=0)},
+            now=5000,
+        )
+        assert policy.allocate(req) == EquipartitionPolicy().allocate(request())
+
+    def test_discount_is_capped(self):
+        policy = CompliancePolicy(lag_grace=1000, discount_cap=2.0)
+        req = request(
+            n=12,
+            totals={"a": 12, "b": 12},
+            published={"a": 6, "b": 6},
+            compliance={"a": _report(adoption_lag_us=1_000_000, adoptions=1)},
+        )
+        targets = policy.allocate(req)
+        # weight 1/2 vs 1 -> a third of the machine, not starvation.
+        assert targets["a"] == 4
+        assert targets["b"] == 8
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="lag_grace"):
+            CompliancePolicy(lag_grace=0)
+        with pytest.raises(ValueError, match="discount_cap"):
+            CompliancePolicy(discount_cap=0.5)
+
+    def test_describe_names_the_knobs(self):
+        label = CompliancePolicy(lag_grace=2000, discount_cap=3.0).describe()
+        assert label == "compliance(grace=2000us,cap=3)"
 
 
 class _FakePartitionScheduler:
