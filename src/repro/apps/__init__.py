@@ -15,6 +15,9 @@ applications used by the ablation benchmarks.
   pivoting: alternating serial pivot and parallel elimination phases.
 - :mod:`~repro.apps.synthetic` -- parameterized uniform / barrier-heavy /
   critical-section-heavy applications for ablations.
+- :class:`~repro.apps.locks.LockSaturationApp` -- think/critical-section
+  iterations on one shared lock; exhibits throughput collapse past the
+  saturation knee (the lock-restriction experiment's workload).
 - :class:`~repro.apps.service.ServiceApp` -- an open-arrival
   request-serving tenant: requests arrive on their own clock and carry
   tail-latency objectives.
@@ -34,6 +37,7 @@ from repro.apps.gauss import Gauss
 from repro.apps.quicksort import QuickSort
 from repro.apps.jacobi import Jacobi
 from repro.apps.synthetic import BarrierHeavyApp, CriticalSectionApp, UniformApp
+from repro.apps.locks import LockSaturationApp
 from repro.apps.service import ServiceApp, ServiceProfile
 from repro.apps.pipeline import PipelineApp
 
@@ -49,6 +53,7 @@ __all__ = [
     "UniformApp",
     "BarrierHeavyApp",
     "CriticalSectionApp",
+    "LockSaturationApp",
     "ServiceApp",
     "ServiceProfile",
     "PipelineApp",

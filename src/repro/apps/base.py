@@ -49,6 +49,18 @@ class Application(ABC):
         microseconds (used to sanity-check speedups in tests)."""
         raise NotImplementedError
 
+    def locks(self) -> tuple:
+        """The application's own locks, for contention telemetry.
+
+        Applications whose tasks contend on named locks override this to
+        expose them; the scenario runner snapshots each into a
+        :class:`~repro.sync.stats.LockStats` on ``ScenarioResult.locks``
+        and applies scenario-level admission knobs to them.  The threads
+        package's internal queue lock is *not* listed here -- it is
+        reported separately via ``queue_lock_stats()``.
+        """
+        return ()
+
     def describe(self) -> Dict[str, object]:
         """Human-readable parameter summary for experiment reports."""
         return {"app_id": self.app_id}

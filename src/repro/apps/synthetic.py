@@ -58,6 +58,9 @@ class UniformApp(Application):
     def total_work(self) -> int:
         return self.n_tasks * self.task_cost
 
+    def locks(self) -> tuple:
+        return (self.lock,)
+
     def describe(self) -> Dict[str, object]:
         return {
             "app_id": self.app_id,

@@ -51,6 +51,7 @@ weight tables the sharding work left open.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -783,7 +784,10 @@ def make_policy(name: str, **kwargs) -> AllocationPolicy:
     """Build a fresh allocation policy by name (mirrors ``make_scheduler``).
 
     ``kwargs`` are forwarded to the policy constructor (e.g.
-    ``make_policy("weighted", weights={"a": 2.0})``).
+    ``make_policy("weighted", weights={"a": 2.0})``).  Unknown keywords
+    raise a ``ValueError`` naming the offending keyword and the ones the
+    policy actually accepts, so a typo'd experiment knob fails loudly
+    instead of surfacing as a bare ``TypeError`` deep in a sweep.
     """
     factory = _FACTORIES.get(name)
     if factory is None:
@@ -791,4 +795,12 @@ def make_policy(name: str, **kwargs) -> AllocationPolicy:
             f"unknown allocation policy {name!r}; valid names: "
             f"{', '.join(POLICY_NAMES)}"
         )
+    accepted = inspect.signature(factory).parameters
+    for keyword in kwargs:
+        if keyword not in accepted:
+            valid = ", ".join(sorted(accepted)) or "(none)"
+            raise ValueError(
+                f"policy {name!r} got an unknown keyword {keyword!r}; "
+                f"accepted keywords: {valid}"
+            )
     return factory(**kwargs)

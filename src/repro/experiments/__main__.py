@@ -31,6 +31,7 @@ from repro.experiments import (
     figure3,
     figure4,
     figure5,
+    lock_collapse,
     mechanisms,
     mixed_runtime,
     policies,
@@ -48,6 +49,7 @@ _EXPERIMENTS = {
     "claims": claims.main,
     "ablations": ablations.main,
     "mechanisms": mechanisms.main,
+    "lock-collapse": lock_collapse.main,
     "mixed-runtime": mixed_runtime.main,
     "policies": policies.main,
     "service": service.main,

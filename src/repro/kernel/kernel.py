@@ -752,6 +752,13 @@ class Kernel:
 
     def _exit_current(self, cpu: int) -> None:
         process = self._undispatch(cpu)
+        syscall = process.pending_syscall
+        if isinstance(syscall, sc.SpinAcquire):
+            # Killed while actively spinning: _undispatch settled it out
+            # of the spin set; drop its wait anchor too so the lock's
+            # telemetry does not leak a dead pid.
+            syscall.lock.wait_started.pop(process.pid, None)
+        process.pending_syscall = None
         process.state = ProcessState.TERMINATED
         process.exit_time = self.engine.now
         if not process.daemon:
@@ -832,9 +839,20 @@ class Kernel:
             process.waiting_signal = False
             return
         syscall = process.pending_syscall
-        if isinstance(syscall, sc.MutexAcquire):
-            if process in syscall.mutex.waiters:
-                syscall.mutex.waiters.remove(process)
+        if isinstance(syscall, sc.SpinAcquire):
+            # Only culled (passivated) spinlock waiters block; active
+            # spinners stay dispatched and are settled by _undispatch.
+            lock = syscall.lock
+            if process in lock.culled:
+                lock.culled.remove(process)
+            lock.wait_started.pop(process.pid, None)
+        elif isinstance(syscall, sc.MutexAcquire):
+            mutex = syscall.mutex
+            if process in mutex.waiters:
+                mutex.waiters.remove(process)
+            elif process in mutex.culled:
+                mutex.culled.remove(process)
+            mutex.wait_started.pop(process.pid, None)
         elif isinstance(syscall, sc.SemWait):
             if process in syscall.sem.waiters:
                 syscall.sem.waiters.remove(process)
@@ -999,6 +1017,21 @@ class Kernel:
                 pid=process.pid,
                 holder=lock.holder_pid,
             )
+        lock.note_wait_started(process.pid, self.engine.now)
+        if lock.admission is not None and len(lock.spinners) >= lock.admission:
+            # Malthusian restriction: the active spin set is full.
+            # Passivate this waiter -- it blocks with the acquire still
+            # pending, so the next dispatch after a wake retries it.
+            lock.note_culled(process)
+            self.trace.emit(
+                self.engine.now,
+                "lock.cull",
+                lock=lock.name,
+                pid=process.pid,
+                culled=len(lock.culled),
+            )
+            self._block_current(cpu, f"spinlock:{lock.name}")
+            return False
         process.spinning_on = lock
         lock.spinners.append(process)
         state = self._cpu[cpu]
@@ -1023,6 +1056,9 @@ class Kernel:
             )
         # Hand off to the longest-spinning process that is on a CPU now.
         if lock.spinners:
+            # Priced before the pop: the storm is driven by the spinners
+            # still chewing on the line after the grantee stops spinning.
+            handoff_charge = lock.handoff_charge()
             grantee = lock.spinners.pop(0)
             gcpu = grantee.cpu
             if gcpu is None or grantee.state is not ProcessState.RUNNING:
@@ -1042,18 +1078,72 @@ class Kernel:
             gstate.segment_kind = "micro"
             gstate.segment_started = self.engine.now
             gstate.segment_event = self.engine.schedule(
-                lock.handoff_cost, self._cb_micro_done[gcpu], "spin-handoff"
+                handoff_charge, self._cb_micro_done[gcpu], "spin-handoff"
             )
+        if lock.culled:
+            self._spinlock_readmit(lock)
         return self._finish_syscall(cpu, process, None, lock.release_cost)
+
+    def _spinlock_readmit(self, lock: Any) -> None:
+        """Feed passivated waiters back after a release (one per release).
+
+        If ownership went to a spinner, top the active spin set back up
+        (the readmitted process wakes and *retries* its acquire, so it
+        contends like any other arrival).  If the lock went completely
+        free -- nobody left spinning -- grant it directly to the oldest
+        culled waiter, mutex-style, so no barging window opens.
+        """
+        now = self.engine.now
+        if lock.held:
+            if lock.admission is not None and len(lock.spinners) >= lock.admission:
+                return
+            while lock.culled:
+                waiter = lock.culled.pop(0)
+                if waiter.state is ProcessState.TERMINATED:
+                    continue  # killed while parked (fault injection)
+                lock.note_readmitted()
+                self.trace.emit(
+                    now, "lock.readmit", lock=lock.name, pid=waiter.pid, direct=False
+                )
+                self._wake(waiter)
+                break
+        else:
+            while lock.culled:
+                waiter = lock.culled.pop(0)
+                if waiter.state is ProcessState.TERMINATED:
+                    continue  # killed while parked (fault injection)
+                lock.note_readmitted()
+                lock.note_acquired(waiter.pid, now, contended=True)
+                waiter.locks_held += 1
+                waiter.pending_syscall = None
+                waiter.syscall_result = True
+                self.trace.emit(
+                    now, "lock.readmit", lock=lock.name, pid=waiter.pid, direct=True
+                )
+                self._wake(waiter)
+                break
 
     def _sys_mutex_acquire(
         self, cpu: int, process: Process, syscall: sc.MutexAcquire
     ) -> bool:
         mutex = syscall.mutex
         if not mutex.held:
-            mutex.note_acquired(process.pid, contended=False)
+            mutex.note_acquired(process.pid, contended=False, now=self.engine.now)
             return self._finish_syscall(cpu, process, True, mutex.acquire_cost)
-        mutex.waiters.append(process)
+        mutex.note_wait_started(process.pid, self.engine.now)
+        if mutex.admission is not None and len(mutex.waiters) >= mutex.admission:
+            # Malthusian restriction: park the excess waiter outside the
+            # active FIFO; releases feed the culled set back in.
+            mutex.note_culled(process)
+            self.trace.emit(
+                self.engine.now,
+                "lock.cull",
+                lock=mutex.name,
+                pid=process.pid,
+                culled=len(mutex.culled),
+            )
+        else:
+            mutex.waiters.append(process)
         self._block_current(cpu, f"mutex:{mutex.name}")
         return False
 
@@ -1066,12 +1156,52 @@ class Kernel:
             waiter = mutex.waiters.pop(0)
             if waiter.state is ProcessState.TERMINATED:
                 continue  # killed while parked (fault injection)
-            mutex.note_acquired(waiter.pid, contended=True)
+            mutex.note_acquired(waiter.pid, contended=True, now=self.engine.now)
             waiter.pending_syscall = None
             waiter.syscall_result = True
             self._wake(waiter)
             break
+        if mutex.culled:
+            self._mutex_readmit(mutex)
         return self._finish_syscall(cpu, process, None, mutex.release_cost)
+
+    def _mutex_readmit(self, mutex: Any) -> None:
+        """Feed one culled mutex waiter back after a release.
+
+        Culled waiters are already blocked, so rejoining the active FIFO
+        is just queue membership -- no wake until a later release grants
+        them.  The culled set drains LIFO (newest first, the Malthusian
+        cache-warmth rule); the active FIFO stays fair.  If the mutex
+        went completely free, grant it directly so no release is wasted.
+        """
+        now = self.engine.now
+        if mutex.held or mutex.waiters:
+            if mutex.admission is not None and len(mutex.waiters) >= mutex.admission:
+                return
+            while mutex.culled:
+                waiter = mutex.culled.pop()
+                if waiter.state is ProcessState.TERMINATED:
+                    continue  # killed while parked (fault injection)
+                mutex.note_readmitted()
+                mutex.waiters.append(waiter)
+                self.trace.emit(
+                    now, "lock.readmit", lock=mutex.name, pid=waiter.pid, direct=False
+                )
+                break
+        else:
+            while mutex.culled:
+                waiter = mutex.culled.pop()
+                if waiter.state is ProcessState.TERMINATED:
+                    continue  # killed while parked (fault injection)
+                mutex.note_readmitted()
+                mutex.note_acquired(waiter.pid, contended=True, now=now)
+                waiter.pending_syscall = None
+                waiter.syscall_result = True
+                self.trace.emit(
+                    now, "lock.readmit", lock=mutex.name, pid=waiter.pid, direct=True
+                )
+                self._wake(waiter)
+                break
 
     def _sys_sem_wait(self, cpu: int, process: Process, syscall: sc.SemWait) -> bool:
         sem = syscall.sem

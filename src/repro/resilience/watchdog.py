@@ -40,7 +40,7 @@ bit-identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.allocation import AllocationPolicy, EquipartitionPolicy
 from repro.sim.rand import RandomStreams
@@ -145,13 +145,21 @@ class Watchdog:
     Create, then :meth:`start`; the watchdog lives on the calendar until
     :meth:`stop` or until it enters degraded mode (terminal -- with no
     control plane left there is nothing to supervise).
+
+    *config* is either one :class:`WatchdogConfig` shared by every shard,
+    or a mapping ``{shard_index: WatchdogConfig}`` giving individual
+    shards their own timings (a latency-critical shard can carry a tight
+    deadline while a batch shard keeps the lenient default).  Shards
+    absent from the mapping get the global default config.  The sampling
+    tick runs at the *fastest* per-shard ``check_period``; each shard is
+    still judged against its own deadline and backoff.
     """
 
     def __init__(
         self,
         kernel: Any,
         plane: Any,
-        config: Optional[WatchdogConfig] = None,
+        config: Union[WatchdogConfig, Mapping[int, WatchdogConfig], None] = None,
         seed: int = 0,
     ) -> None:
         self.kernel = kernel
@@ -162,7 +170,30 @@ class Watchdog:
         interval = self.servers[0].interval
         machine_config = getattr(getattr(kernel, "machine", None), "config", None)
         slack = 2 * machine_config.quantum if machine_config is not None else 0
-        self.config = (config or WatchdogConfig()).resolve(interval, slack)
+        if isinstance(config, Mapping):
+            for index in config:
+                if not 0 <= index < len(self.servers):
+                    raise ValueError(
+                        f"watchdog config for unknown shard {index!r} "
+                        f"(plane has {len(self.servers)} shard(s))"
+                    )
+            default = WatchdogConfig().resolve(interval, slack)
+            self.configs: List[WatchdogConfig] = [
+                (
+                    config[index].resolve(interval, slack)
+                    if index in config
+                    else default
+                )
+                for index in range(len(self.servers))
+            ]
+        else:
+            shared = (config or WatchdogConfig()).resolve(interval, slack)
+            self.configs = [shared] * len(self.servers)
+        #: Back-compat alias: the first shard's resolved config (identical
+        #: to every other shard's unless a per-shard mapping was given).
+        self.config = self.configs[0]
+        #: The supervision tick runs at the fastest requested cadence.
+        self.check_period = min(c.check_period for c in self.configs)
         self.rng = RandomStreams(seed).get("watchdog")
         self.health: List[_ShardHealth] = [
             _ShardHealth() for _ in self.servers
@@ -198,7 +229,7 @@ class Watchdog:
         # A deterministic phase offset desynchronizes the watchdog from
         # the servers' scan boundaries (and from sibling watchdogs in
         # multi-plane rigs): same seed, same phase, bit-identical run.
-        offset = 1 + self.rng.randrange(self.config.check_period)
+        offset = 1 + self.rng.randrange(self.check_period)
         self.kernel.engine.schedule(offset, self._first_tick, "watchdog-start")
 
     def _first_tick(self) -> None:
@@ -206,8 +237,12 @@ class Watchdog:
             self._tick()
         if not self.degraded:
             self._repeat = self.kernel.engine.schedule_every(
-                self.config.check_period, self._tick, "watchdog-tick"
+                self.check_period, self._tick, "watchdog-tick"
             )
+
+    def config_for(self, index: int) -> WatchdogConfig:
+        """The resolved supervision config governing shard *index*."""
+        return self.configs[index]
 
     def stop(self) -> None:
         """Cancel the supervision loop."""
@@ -234,7 +269,7 @@ class Watchdog:
             if health.state == "failed":
                 continue
             self._check_shard(index, server, health, now)
-        if self.config.policy_cold_ttl is not None:
+        if any(c.policy_cold_ttl is not None for c in self.configs):
             self._check_telemetry(now)
 
     def _heartbeat_age(self, server: Any, health: _ShardHealth, now: int) -> int:
@@ -247,7 +282,7 @@ class Watchdog:
     def _check_shard(
         self, index: int, server: Any, health: _ShardHealth, now: int
     ) -> None:
-        config = self.config
+        config = self.configs[index]
         crashed_at = server.board.crashed_at
         age = self._heartbeat_age(server, health, now)
         suspect = crashed_at is not None or age > config.deadline
@@ -290,7 +325,7 @@ class Watchdog:
     def _restart_shard(
         self, index: int, server: Any, health: _ShardHealth, now: int
     ) -> None:
-        config = self.config
+        config = self.configs[index]
         if server.pid is not None:
             # Alive but not beating: a wedged scan loop.  Kill it -- a
             # respawn is the only lever a supervisor has.
@@ -344,10 +379,10 @@ class Watchdog:
 
     def _check_telemetry(self, now: int) -> None:
         """Swap a demand policy out (and back) as its telemetry cools."""
-        ttl = self.config.policy_cold_ttl
         for index, server in enumerate(self.servers):
+            ttl = self.configs[index].policy_cold_ttl
             health = self.health[index]
-            if server.pid is None or health.state == "failed":
+            if ttl is None or server.pid is None or health.state == "failed":
                 continue
             reported = server.board.demand_reported_at
             newest = max(reported.values()) if reported else None

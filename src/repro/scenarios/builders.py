@@ -21,6 +21,7 @@ from repro.apps import (
     BarrierHeavyApp,
     CriticalSectionApp,
     Gauss,
+    LockSaturationApp,
     MatMul,
     MergeSort,
     PipelineApp,
@@ -134,6 +135,7 @@ def _service(
     slo_us=None,
     tier=None,
     burst_factor=None,
+    **_other,
 ):
     # ``task_cost`` doubles as the per-stage cost so service cases reuse
     # the one cost knob every other template already exposes.
@@ -152,6 +154,42 @@ def _service(
     if tier is not None:
         kwargs["tier"] = tier
     return ServiceApp(**kwargs)
+
+
+#: ``locks``-template defaults, matching the lock-saturation workload
+#: family (:mod:`repro.workloads.locks`): a 150 us critical section under
+#: a 40 us-per-spinner hand-off surcharge.  ``task_cost`` rides in as the
+#: think time, so the corpus's one cost knob still sets the duty cycle.
+DEFAULT_LOCK_CS = 150
+DEFAULT_LOCK_PENALTY = 40
+
+
+def _locks(
+    app_id,
+    n_tasks,
+    task_cost,
+    scale,
+    seed,
+    cs_cost=None,
+    contention_penalty=None,
+    admission=None,
+    blocking=False,
+    **_service,
+):
+    return LockSaturationApp(
+        app_id=app_id,
+        n_tasks=n_tasks,
+        think_time=task_cost,
+        cs_time=DEFAULT_LOCK_CS if cs_cost is None else cs_cost,
+        contention_penalty=(
+            DEFAULT_LOCK_PENALTY
+            if contention_penalty is None
+            else contention_penalty
+        ),
+        admission=admission,
+        blocking=blocking,
+        seed=seed,
+    )
 
 
 _SCALE_APPS: Dict[str, Callable] = {
@@ -175,6 +213,7 @@ _TEMPLATES: Dict[str, Callable] = {
     "barrier": _barrier,
     "pipeline": _pipeline,
     "service": _service,
+    "locks": _locks,
     **{name: _make_scale_builder(cls) for name, cls in _SCALE_APPS.items()},
 }
 
@@ -201,13 +240,19 @@ def make_app_factory(
     slo_us: Optional[int] = None,
     tier: Optional[str] = None,
     burst_factor: Optional[float] = None,
+    cs_cost: Optional[int] = None,
+    contention_penalty: Optional[int] = None,
+    admission: Optional[int] = None,
+    blocking: bool = False,
 ) -> Callable[[], object]:
     """A zero-argument application factory for an :class:`AppSpec`.
 
     Raises ``ValueError`` for unknown template names so a typo in a catalog
     record fails at build time, not as a silent empty run.  The service
     keywords parametrize the ``service`` template's arrival stream and
-    request DAG; every other template ignores them.
+    request DAG; the lock keywords (``cs_cost``, ``contention_penalty``,
+    ``admission``, ``blocking``) the ``locks`` template's shared lock;
+    every other template ignores them.
     """
     builder = _TEMPLATES.get(template)
     if builder is None:
@@ -230,6 +275,10 @@ def make_app_factory(
         slo_us=slo_us,
         tier=tier,
         burst_factor=burst_factor,
+        cs_cost=cs_cost,
+        contention_penalty=contention_penalty,
+        admission=admission,
+        blocking=blocking,
     )
 
 
@@ -243,7 +292,7 @@ def expected_tasks(
     when it depends on the application's internal decomposition (the
     scale-parametrized paper applications)."""
     n_tasks = DEFAULT_N_TASKS if n_tasks is None else n_tasks
-    if template in ("uniform", "csection"):
+    if template in ("uniform", "csection", "locks"):
         return n_tasks
     if template == "barrier":
         return n_tasks * 4

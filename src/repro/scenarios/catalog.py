@@ -32,6 +32,13 @@ Families:
                    equal-vs-compliance policy cross over the mix, with
                    adoption-lag bands pinning the deferred-adoption
                    contract.
+- ``locks``     -- lock-saturation collapse: an oversubscribed lock tenant
+                   unrestricted vs concurrency-restricted (spin and
+                   blocking), restriction composed with processor control
+                   over an overcommitted machine, scenario-wide admission
+                   through the queue lock, and a cpu-offline fault under
+                   contention.  Restricted cases carry a passivation
+                   census proving culling actually engaged.
 - ``fuzz``      -- workloads drawn from the seeded random generator, half
                    of them with random fault plans layered on top.
 
@@ -738,6 +745,94 @@ def runtime_cases() -> List[ScenarioCase]:
     return cases
 
 
+# -- locks family --------------------------------------------------------------
+
+
+def locks_cases() -> List[ScenarioCase]:
+    """Lock-saturation collapse and concurrency restriction as corpus data.
+
+    Ten lock threads on eight CPUs with the standard collapse shape
+    (600 us think / 150 us critical section / 40 us-per-spinner hand-off
+    surcharge) keep the lock saturated for the whole run, so the
+    restricted cases must actually cull (the passivation census).  No
+    kill faults here: a killed spinlock *holder* would deadlock the rest
+    of the app by design, which is a sync-edge unit test, not a corpus
+    invariant.
+    """
+
+    def lock_app(**kw) -> CaseApp:
+        kw.setdefault("n_tasks", 48)
+        kw.setdefault("task_cost", 600)
+        kw.setdefault("cs_cost", 150)
+        kw.setdefault("contention_penalty", 40)
+        return CaseApp("locks", n_processes=10, name="locks", **kw)
+
+    restricted = Expect(pin_digest=True, min_passivations=1)
+    cases = [
+        # The bare collapse: no process control, no restriction -- the
+        # pinned world the telemetry narrates (peak spinner storms).
+        _case(
+            "locks-collapse-unrestricted",
+            "locks",
+            [lock_app()],
+            control=None,
+            policy="equal",
+            expect=Expect(pin_digest=True),
+        ),
+        # Restriction alone fixes the storm without any control plane.
+        _case(
+            "locks-restricted-spin",
+            "locks",
+            [lock_app(admission=1)],
+            control=None,
+            policy="equal",
+            expect=restricted,
+        ),
+        # The blocking variant: culled mutex waiters readmit LIFO.
+        _case(
+            "locks-restricted-mutex",
+            "locks",
+            [lock_app(admission=2, blocking=True)],
+            control=None,
+            policy="equal",
+            expect=restricted,
+        ),
+        # Waiter control composed with processor control over an
+        # overcommitted machine (a compute tenant shares the 8 CPUs).
+        _case(
+            "locks-combined-control",
+            "locks",
+            [
+                lock_app(admission=1),
+                CaseApp("uniform", 6, name="bg", n_tasks=24, task_cost=ms(3)),
+            ],
+            policy="equal",
+            expect=replace(restricted, min_total_suspensions=1),
+        ),
+        # Scenario-wide admission: the case-level knob must reach the
+        # app lock *and* the task-queue lock without per-app settings.
+        _case(
+            "locks-scenario-admission",
+            "locks",
+            [lock_app()],
+            lock_admission=2,
+            policy="equal",
+            expect=restricted,
+        ),
+        # Capacity loss under contention: a CPU goes away mid-storm and
+        # comes back; bounded inflation, full census.
+        _case(
+            "locks-cpu-offline",
+            "locks",
+            [lock_app(admission=1)],
+            faults="cpu-offline:cpu=1,at=5ms,duration=25ms",
+            policy="equal",
+            expect=replace(_FAULT_EXPECT, min_passivations=1),
+        ),
+    ]
+    return cases
+
+
 # -- fuzz family ---------------------------------------------------------------
 
 #: The generator draws arrivals from this mix of *synthetic* templates
@@ -826,6 +921,7 @@ def build_catalog() -> List[ScenarioCase]:
         + storm_cases()
         + service_cases()
         + runtime_cases()
+        + locks_cases()
         + fuzz_cases()
     )
     names = [case.name for case in cases]

@@ -72,6 +72,9 @@ class CaseOutcome:
     #: band semantics.
     adoptions: int = 0
     adoption_lag_max_us: int = 0
+    #: Lock-restriction census: total waiters culled across every lock
+    #: (zero when no lock has an admission limit).
+    passivations: int = 0
     #: Dispatch digest (collected only for digest-pinned cases).
     digest: Optional[str] = None
     #: Fault-free twin makespan and the resulting inflation factor
@@ -136,6 +139,9 @@ def run_case(
         app.target_expiries for app in result.apps.values()
     )
     outcome.adoptions = sum(app.adoptions for app in result.apps.values())
+    outcome.passivations = sum(
+        stats.passivations for stats in result.locks.values()
+    )
     outcome.adoption_lag_max_us = max(
         (app.adoption_lag_max for app in result.apps.values()), default=0
     )
@@ -235,6 +241,11 @@ def run_case(
         outcome.violations.append(
             f"adoption-lag band: {outcome.adoption_lag_max_us} us > "
             f"bound {expect.max_adoption_lag} us"
+        )
+    if outcome.passivations < expect.min_passivations:
+        outcome.violations.append(
+            f"restriction never engaged: {outcome.passivations} "
+            f"passivation(s), expected >= {expect.min_passivations}"
         )
 
     if expect.max_inflation is not None and outcome.completed:

@@ -38,6 +38,7 @@ FAMILIES = (
     "storm",
     "service",
     "runtime",
+    "locks",
     "fuzz",
 )
 
@@ -60,8 +61,14 @@ class CaseApp:
     (``burst_factor`` switches it to the two-rate bursty wave),
     ``fanout`` / ``task_cost`` shape the per-request DAG (``task_cost``
     doubles as the stage cost), and ``slo_us`` / ``tier`` feed the
-    latency objective the SLO-aware policy steers toward.  Other
-    templates ignore these fields.
+    latency objective the SLO-aware policy steers toward.
+
+    The ``locks`` template reads the contention fields: ``task_cost``
+    doubles as the per-iteration think time, ``cs_cost`` is the
+    critical-section length, ``contention_penalty`` the per-spinner
+    hand-off surcharge, ``admission`` the lock's concurrency-restriction
+    limit, and ``blocking`` switches the shared lock from a spinlock to
+    a mutex.  Other templates ignore these fields.
     """
 
     template: str
@@ -79,6 +86,10 @@ class CaseApp:
     slo_us: Optional[int] = None
     tier: Optional[str] = None
     burst_factor: Optional[float] = None
+    cs_cost: Optional[int] = None
+    contention_penalty: Optional[int] = None
+    admission: Optional[int] = None
+    blocking: bool = False
 
     def app_id(self, index: int) -> str:
         return self.name or f"{self.template}{index}"
@@ -120,6 +131,10 @@ class Expect:
         max_adoption_lag: worst per-app adoption lag band, microseconds
             (``None`` = unchecked).  A fork-join runtime's lag is bounded
             by its phase length; the band pins that contract as data.
+        min_passivations: across all locks, at least this many waiters
+            must have been culled into a passivated set (the locks
+            family's proof that concurrency restriction actually
+            engaged, not just that the knob was set).
     """
 
     sanitizer_clean: bool = True
@@ -135,6 +150,7 @@ class Expect:
     max_violation_rate: Optional[float] = None
     min_adoptions: int = 0
     max_adoption_lag: Optional[int] = None
+    min_passivations: int = 0
 
 
 @dataclass(frozen=True)
@@ -150,6 +166,7 @@ class ScenarioCase:
     policy: Optional[str] = None
     shards: int = 1
     control: Optional[str] = "centralized"
+    lock_admission: Optional[int] = None
     faults: Optional[str] = None
     supervise: bool = False
     server_interval: int = field(default_factory=lambda: units.ms(40))
@@ -193,6 +210,14 @@ class ScenarioCase:
                     f"case {self.name!r}: unknown runtime {app.runtime!r}; "
                     f"expected one of {RUNTIME_NAMES}"
                 )
+            if app.admission is not None and app.admission < 1:
+                raise ValueError(
+                    f"case {self.name!r}: admission must be >= 1"
+                )
+        if self.lock_admission is not None and self.lock_admission < 1:
+            raise ValueError(
+                f"case {self.name!r}: lock_admission must be >= 1"
+            )
         if self.faults:
             # Validate the plan grammar eagerly: a corpus entry with a typo
             # must fail at catalog-build time, not silently run fault-free.
@@ -256,6 +281,10 @@ class ScenarioCase:
                         slo_us=app.slo_us,
                         tier=app.tier,
                         burst_factor=app.burst_factor,
+                        cs_cost=app.cs_cost,
+                        contention_penalty=app.contention_penalty,
+                        admission=app.admission,
+                        blocking=app.blocking,
                     ),
                     n_processes=app.n_processes,
                     arrival=app.arrival,
@@ -266,6 +295,11 @@ class ScenarioCase:
         return Scenario(
             apps=specs,
             control=self.control,
+            # 0 = pinned-unrestricted: blocks the REPRO_LOCK_ADMISSION
+            # fallback the same way faults="" blocks REPRO_FAULTS.
+            lock_admission=(
+                self.lock_admission if self.lock_admission is not None else 0
+            ),
             scheduler=self.scheduler,
             machine=builders.small_machine(
                 self.n_processors, quantum=self.quantum

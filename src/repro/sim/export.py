@@ -64,6 +64,8 @@ TIMELINE_CATEGORIES = frozenset(
         "kernel.kill",
         "sanitize.violation",
         "service.slo_violation",
+        "lock.cull",
+        "lock.readmit",
     }
 )
 
@@ -77,6 +79,10 @@ _LANE_OF_PREFIX = {
     "app": "app",
     "service": "app",
     "sanitize": "sanitize",
+    # Per-lock milestones (culling/readmission) act on an app's lock;
+    # spin.* witnesses likewise narrate application-side contention.
+    "lock": "app",
+    "spin": "app",
 }
 
 

@@ -24,10 +24,12 @@ from repro.sync.semaphore import Semaphore
 from repro.sync.barrier import Barrier
 from repro.sync.condvar import ConditionVariable
 from repro.sync.spinbarrier import SpinBarrier, spin_barrier_wait
+from repro.sync.stats import LockStats
 
 __all__ = [
     "SpinLock",
     "Mutex",
+    "LockStats",
     "Semaphore",
     "Barrier",
     "ConditionVariable",

@@ -4,11 +4,21 @@ Unlike a :class:`~repro.sync.spinlock.SpinLock`, a process that fails to
 acquire a :class:`Mutex` blocks: it leaves its processor and waits on the
 mutex's FIFO queue.  The kernel wakes the head waiter on release and hands
 it ownership directly (no barging), so the lock is fair.
+
+A mutex never burns cycles, so it cannot collapse the way a saturated
+spinlock does -- but a deep waiter queue still inflates hand-off latency
+(every waiter pays a full wake/dispatch round trip).  The optional
+``admission`` knob applies the same Malthusian restriction as the
+spinlock's: at most ``admission`` processes sit on the active FIFO, the
+rest are parked in ``culled`` and fed back one per release.  Culled
+waiters re-enter at the *head*-most culled position last (LIFO), trading
+fairness for cache warmth exactly as the Malthusian-lock paper
+prescribes for its passive set.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class Mutex:
@@ -18,27 +28,81 @@ class Mutex:
         "name",
         "acquire_cost",
         "release_cost",
+        "admission",
         "holder_pid",
         "waiters",
+        "culled",
         "acquisitions",
         "contended_acquisitions",
+        "wait_started",
+        "wait_hist",
+        "total_wait_time",
+        "handoffs",
+        "handoff_latency_total",
+        "handoff_latency_max",
+        "passivations",
+        "readmissions",
+        "culled_peak",
     )
 
-    def __init__(self, name: str = "mutex", acquire_cost: int = 5, release_cost: int = 5):
+    def __init__(
+        self,
+        name: str = "mutex",
+        acquire_cost: int = 5,
+        release_cost: int = 5,
+        admission: Optional[int] = None,
+    ):
+        if admission is not None and admission < 1:
+            raise ValueError("admission must be >= 1 (or None to disable)")
         self.name = name
         self.acquire_cost = acquire_cost
         self.release_cost = release_cost
+        self.admission = admission
         self.holder_pid: Optional[int] = None
         self.waiters: List[Any] = []
+        self.culled: List[Any] = []
         self.acquisitions = 0
         self.contended_acquisitions = 0
+        # contention telemetry
+        self.wait_started: Dict[int, int] = {}
+        self.wait_hist: Dict[int, int] = {}
+        self.total_wait_time = 0
+        self.handoffs = 0
+        self.handoff_latency_total = 0
+        self.handoff_latency_max = 0
+        self.passivations = 0
+        self.readmissions = 0
+        self.culled_peak = 0
 
     @property
     def held(self) -> bool:
         """True while some process owns the mutex."""
         return self.holder_pid is not None
 
-    def note_acquired(self, pid: int, contended: bool) -> None:
+    @property
+    def waiting(self) -> int:
+        """Processes waiting for the mutex right now (queued or culled)."""
+        return len(self.waiters) + len(self.culled)
+
+    def note_wait_started(self, pid: int, now: int) -> None:
+        """Record that *pid* started waiting at *now* (kernel hook)."""
+        self.wait_hist[self.waiting] = self.wait_hist.get(self.waiting, 0) + 1
+        self.wait_started.setdefault(pid, now)
+
+    def note_culled(self, process: Any) -> None:
+        """Record that *process* was passivated into the culled set."""
+        self.culled.append(process)
+        self.passivations += 1
+        if len(self.culled) > self.culled_peak:
+            self.culled_peak = len(self.culled)
+
+    def note_readmitted(self) -> None:
+        """Record that one culled waiter rejoined the active queue."""
+        self.readmissions += 1
+
+    def note_acquired(
+        self, pid: int, contended: bool, now: Optional[int] = None
+    ) -> None:
         """Record ownership transfer to *pid* (kernel hook)."""
         if self.holder_pid is not None:
             raise RuntimeError(
@@ -48,6 +112,16 @@ class Mutex:
         self.acquisitions += 1
         if contended:
             self.contended_acquisitions += 1
+        started = self.wait_started.pop(pid, None)
+        if started is not None and now is not None:
+            latency = now - started
+            self.total_wait_time += latency
+            self.handoffs += 1
+            self.handoff_latency_total += latency
+            if latency > self.handoff_latency_max:
+                self.handoff_latency_max = latency
+        elif started is None and not contended:
+            self.wait_hist[0] = self.wait_hist.get(0, 0) + 1
 
     def note_released(self, pid: int) -> None:
         """Record that *pid* gave up ownership (kernel hook)."""
@@ -60,5 +134,5 @@ class Mutex:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Mutex {self.name!r} holder={self.holder_pid} "
-            f"waiters={len(self.waiters)}>"
+            f"waiters={len(self.waiters)} culled={len(self.culled)}>"
         )

@@ -14,11 +14,27 @@ Semantics (enforced by the kernel when servicing ``SpinAcquire`` /
 The lock records contention statistics used by the experiment reports:
 total spin time, number of contended acquires, and -- the paper's smoking
 gun -- how often an acquire found the lock held by a *preempted* process.
+
+Two optional knobs model the modern sequel to the paper's story
+(Malthusian locks; Dice & Kogan's "Avoiding Scalability Collapse by
+Restricting Concurrency"):
+
+* ``contention_penalty`` -- extra microseconds added to every ownership
+  hand-off *per remaining spinner*, modelling the invalidation storm the
+  releasing cache line suffers on a saturated lock.  With it non-zero,
+  throughput provably collapses as spinners grow even with zero
+  preemption.  Default 0: hand-offs cost exactly ``handoff_cost`` and
+  behaviour is bit-identical to earlier revisions.
+* ``admission`` -- the concurrency-restriction knob.  At most ``admission``
+  processes may actively spin; excess waiters are *passivated* by the
+  kernel into the ``culled`` list (they block, keeping their acquire
+  syscall pending) and are readmitted one per release, i.e. clocked by
+  the lock's measured service rate.  ``None`` disables restriction.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class SpinLock:
@@ -30,9 +46,15 @@ class SpinLock:
         release_cost: microseconds charged for a release.
         handoff_cost: microseconds charged to transfer ownership to a
             spinner (models the cache-line ping).
+        contention_penalty: extra hand-off microseconds per remaining
+            spinner (models the invalidation storm; 0 = classic model).
+        admission: max processes allowed to spin concurrently, or ``None``
+            for unrestricted spinning.
         holder_pid: pid currently holding the lock, or ``None``.
         spinners: processes currently dispatched and busy-waiting, oldest
             first.  Typed ``Any`` to avoid importing the kernel package.
+        culled: passivated waiters (blocked, acquire still pending),
+            oldest first.  Only populated when ``admission`` is set.
     """
 
     __slots__ = (
@@ -40,14 +62,28 @@ class SpinLock:
         "acquire_cost",
         "release_cost",
         "handoff_cost",
+        "contention_penalty",
+        "admission",
         "holder_pid",
         "spinners",
+        "culled",
         "acquisitions",
         "contended_acquisitions",
         "holder_preempted_encounters",
         "total_spin_time",
         "hold_started_at",
         "total_hold_time",
+        "wait_started",
+        "wait_hist",
+        "total_wait_time",
+        "handoffs",
+        "handoff_latency_total",
+        "handoff_latency_max",
+        "passivations",
+        "readmissions",
+        "culled_peak",
+        "last_released_at",
+        "service_interval_ewma",
     )
 
     def __init__(
@@ -56,13 +92,22 @@ class SpinLock:
         acquire_cost: int = 2,
         release_cost: int = 1,
         handoff_cost: int = 3,
+        contention_penalty: int = 0,
+        admission: Optional[int] = None,
     ) -> None:
+        if contention_penalty < 0:
+            raise ValueError("contention_penalty must be >= 0")
+        if admission is not None and admission < 1:
+            raise ValueError("admission must be >= 1 (or None to disable)")
         self.name = name
         self.acquire_cost = acquire_cost
         self.release_cost = release_cost
         self.handoff_cost = handoff_cost
+        self.contention_penalty = contention_penalty
+        self.admission = admission
         self.holder_pid: Optional[int] = None
         self.spinners: List[Any] = []
+        self.culled: List[Any] = []
         # statistics
         self.acquisitions = 0
         self.contended_acquisitions = 0
@@ -70,11 +115,61 @@ class SpinLock:
         self.total_spin_time = 0
         self.hold_started_at: Optional[int] = None
         self.total_hold_time = 0
+        # contention telemetry
+        self.wait_started: Dict[int, int] = {}
+        self.wait_hist: Dict[int, int] = {}
+        self.total_wait_time = 0
+        self.handoffs = 0
+        self.handoff_latency_total = 0
+        self.handoff_latency_max = 0
+        self.passivations = 0
+        self.readmissions = 0
+        self.culled_peak = 0
+        self.last_released_at: Optional[int] = None
+        self.service_interval_ewma: Optional[float] = None
 
     @property
     def held(self) -> bool:
         """True while some process owns the lock."""
         return self.holder_pid is not None
+
+    @property
+    def waiting(self) -> int:
+        """Processes waiting for the lock right now (spinning or culled)."""
+        return len(self.spinners) + len(self.culled)
+
+    def handoff_charge(self) -> int:
+        """Microseconds the next ownership hand-off costs.
+
+        ``handoff_cost`` plus the invalidation-storm penalty scaled by the
+        spinners that will still be chewing on the cache line *after* the
+        hand-off (the grantee itself no longer spins).
+        """
+        remaining = max(0, len(self.spinners) - 1)
+        return self.handoff_cost + self.contention_penalty * remaining
+
+    def note_wait_started(self, pid: int, now: int) -> None:
+        """Record that *pid* started waiting at *now* (kernel hook).
+
+        Samples the waiters histogram with the queue depth the arriving
+        process observed.  ``setdefault`` keeps the *earliest* wait start
+        across preempt-and-retry cycles so hand-off latency measures the
+        full wall-clock wait, but each retry re-samples the histogram
+        (each is a fresh observation of the queue).
+        """
+        self.wait_hist[self.waiting] = self.wait_hist.get(self.waiting, 0) + 1
+        self.wait_started.setdefault(pid, now)
+
+    def note_culled(self, process: Any) -> None:
+        """Record that *process* was passivated into the culled set."""
+        self.culled.append(process)
+        self.passivations += 1
+        if len(self.culled) > self.culled_peak:
+            self.culled_peak = len(self.culled)
+
+    def note_readmitted(self) -> None:
+        """Record that one culled waiter was released back to contention."""
+        self.readmissions += 1
 
     def note_acquired(self, pid: int, now: int, contended: bool) -> None:
         """Record that *pid* took the lock at time *now* (kernel hook)."""
@@ -88,6 +183,19 @@ class SpinLock:
         self.acquisitions += 1
         if contended:
             self.contended_acquisitions += 1
+        started = self.wait_started.pop(pid, None)
+        if started is not None:
+            # The process waited at some point (possibly across a
+            # preempt-and-retry cycle that ends in a free-lock acquire).
+            latency = now - started
+            self.total_wait_time += latency
+            self.handoffs += 1
+            self.handoff_latency_total += latency
+            if latency > self.handoff_latency_max:
+                self.handoff_latency_max = latency
+        elif not contended:
+            # Uncontended acquire: the arriving process saw zero waiters.
+            self.wait_hist[0] = self.wait_hist.get(0, 0) + 1
 
     def note_released(self, pid: int, now: int) -> None:
         """Record that *pid* released the lock at time *now* (kernel hook)."""
@@ -100,9 +208,21 @@ class SpinLock:
         if self.hold_started_at is not None:
             self.total_hold_time += now - self.hold_started_at
             self.hold_started_at = None
+        # Service-rate estimate: EWMA of the release-to-release interval.
+        # Readmission is clocked by releases, so this is the measured rate
+        # at which culled waiters get another shot.
+        if self.last_released_at is not None:
+            interval = float(now - self.last_released_at)
+            if self.service_interval_ewma is None:
+                self.service_interval_ewma = interval
+            else:
+                self.service_interval_ewma = (
+                    0.25 * interval + 0.75 * self.service_interval_ewma
+                )
+        self.last_released_at = now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<SpinLock {self.name!r} holder={self.holder_pid} "
-            f"spinners={len(self.spinners)}>"
+            f"spinners={len(self.spinners)} culled={len(self.culled)}>"
         )

@@ -43,6 +43,10 @@ CONTROL_OFF = None
 CONTROL_CENTRALIZED = "centralized"
 CONTROL_DECENTRALIZED = "decentralized"
 
+#: Environment knob: default lock admission limit for scenario runs
+#: (Malthusian waiter restriction; see docs/LOCKS.md).  0/unset = off.
+LOCK_ADMISSION_ENV_VAR = "REPRO_LOCK_ADMISSION"
+
 
 @dataclass
 class ThreadsPackageConfig:
@@ -79,6 +83,18 @@ class ThreadsPackageConfig:
             healthy-world behaviour, and what hand-driven tests expect.
         poll_backoff_max: cap on the backed-off poll gap; defaults to
             8x ``poll_interval`` when degradation is enabled.
+        lock_admission: Malthusian concurrency restriction for the
+            package's queue lock: at most this many workers may spin on
+            it at once, the rest are passivated at the lock and readmitted
+            as releases occur (see docs/LOCKS.md).  ``None`` (default)
+            leaves spinning unrestricted -- the 1989 behaviour.  This is
+            lock-level waiter control, deliberately independent of the
+            server's processor control (``control=``): either, both, or
+            neither can be on.
+        lock_contention_penalty: extra hand-off microseconds per remaining
+            spinner on the queue lock, modelling the invalidation storm on
+            a saturated lock.  0 (default) keeps the classic fixed-cost
+            hand-off.
     """
 
     control: Optional[str] = CONTROL_OFF
@@ -94,8 +110,14 @@ class ThreadsPackageConfig:
     spin_poll_max_gap: int = field(default_factory=lambda: units.ms(8))
     stale_target_ttl: Optional[int] = None
     poll_backoff_max: Optional[int] = None
+    lock_admission: Optional[int] = None
+    lock_contention_penalty: int = 0
 
     def __post_init__(self) -> None:
+        if self.lock_admission is not None and self.lock_admission < 1:
+            raise ValueError("lock_admission must be >= 1 (or None)")
+        if self.lock_contention_penalty < 0:
+            raise ValueError("lock_contention_penalty must be >= 0")
         if self.control not in (
             CONTROL_OFF,
             CONTROL_CENTRALIZED,
@@ -159,6 +181,10 @@ class ThreadsPackage:
         self.config = config or ThreadsPackageConfig()
 
         self.queue = TaskQueue(f"{self.app_id}.queue")
+        if self.config.lock_admission is not None:
+            self.queue.lock.admission = self.config.lock_admission
+        if self.config.lock_contention_penalty:
+            self.queue.lock.contention_penalty = self.config.lock_contention_penalty
         self.adapter: RuntimeAdapter = self.adapter_class(self)
         # The adapter owns the shared control block; alias it so every
         # existing consumer (runner, sanitizer, tests) reads the same

@@ -12,6 +12,10 @@ with per-application wall times, the runnable-process time series
 from repro.workloads.scenario import AppSpec, Scenario, UncontrolledSpec
 from repro.workloads.runner import AppResult, ScenarioResult, run_scenario
 from repro.workloads.schedulers import make_scheduler, SCHEDULER_NAMES
+from repro.workloads.locks import (
+    lock_saturation_scenario,
+    predicted_throughput,
+)
 
 __all__ = [
     "AppSpec",
@@ -22,4 +26,6 @@ __all__ = [
     "run_scenario",
     "make_scheduler",
     "SCHEDULER_NAMES",
+    "lock_saturation_scenario",
+    "predicted_throughput",
 ]

@@ -30,8 +30,13 @@ from repro.metrics.timeseries import StepSeries, runnable_series_from_trace
 from repro.resilience.watchdog import SUPERVISE_ENV_VAR, Watchdog
 from repro.sanitize.invariants import SchedSanitizer, sanitize_mode_from_env
 from repro.sim import Engine, TraceLog
+from repro.sync.stats import LockStats
 from repro.threads import make_package
-from repro.threads.package import ThreadsPackage, ThreadsPackageConfig
+from repro.threads.package import (
+    LOCK_ADMISSION_ENV_VAR,
+    ThreadsPackage,
+    ThreadsPackageConfig,
+)
 from repro.workloads.scenario import Scenario
 from repro.workloads.schedulers import make_scheduler
 
@@ -68,6 +73,9 @@ RUNNER_TRACE_CATEGORIES = (
     # Service-workload categories (silent unless a ServiceApp runs).
     "service.request",
     "service.slo_violation",
+    # Lock-restriction categories (silent unless a lock sets admission).
+    "lock.cull",
+    "lock.readmit",
 )
 
 
@@ -112,6 +120,18 @@ class AppResult:
     overshoot_peak: float = 0.0
     safe_points: int = 0
     safe_point_gap_mean: Optional[float] = None
+    #: Contention telemetry summed over the application's own locks
+    #: (``Application.locks()``; the package queue lock is reported via
+    #: the ``queue_lock_*`` fields above).  Per-lock detail, including
+    #: the waiters histogram, lives in ``ScenarioResult.locks``.
+    lock_acquisitions: int = 0
+    lock_contended: int = 0
+    lock_holder_preempted: int = 0
+    lock_wait_time: int = 0
+    lock_handoff_max: int = 0
+    lock_waiters_peak: int = 0
+    lock_passivations: int = 0
+    lock_readmissions: int = 0
 
 
 @dataclass
@@ -156,6 +176,10 @@ class ScenarioResult:
     service: Dict[str, LatencyStats] = field(default_factory=dict)
     #: The same summaries aggregated per tier (interactive / batch).
     service_tiers: Dict[str, LatencyStats] = field(default_factory=dict)
+    #: Per-lock contention telemetry snapshots keyed by lock name:
+    #: every application lock (``Application.locks()``) plus each
+    #: package's task-queue lock.  Empty when no lock saw any acquire.
+    locks: Dict[str, LockStats] = field(default_factory=dict)
 
     def wall_time(self, app_id: str) -> int:
         """Wall time of one application (convenience accessor)."""
@@ -362,9 +386,25 @@ def run_scenario(
             4 * scenario.poll_interval, 4 * scenario.server_interval
         )
 
+    # Lock-level waiter control: scenario field first, then the env knob.
+    # An explicit 0 pins "unrestricted" even when REPRO_LOCK_ADMISSION is
+    # set (the supervise=False idiom) so pinned corpus digests cannot be
+    # perturbed by a CI-wide knob.
+    lock_admission = scenario.lock_admission
+    if lock_admission is None:
+        lock_admission = int(os.environ.get(LOCK_ADMISSION_ENV_VAR) or 0) or None
+    elif lock_admission == 0:
+        lock_admission = None
+
     packages: List[ThreadsPackage] = []
     for index, spec in enumerate(scenario.apps):
         app = spec.factory()
+        if lock_admission is not None:
+            # Restrict every lock the application exposes; a lock that
+            # configured its own admission keeps it (most specific wins).
+            for lock in app.locks():
+                if lock.admission is None:
+                    lock.admission = lock_admission
         # Only centralized applications are routed to a shard; other
         # control modes never poll, so they must not consume shard slots.
         routed = server is not None and app_controls[index] == "centralized"
@@ -376,6 +416,7 @@ def run_scenario(
             idle_spin=scenario.idle_spin,
             use_no_preempt_flags=scenario.use_no_preempt_flags,
             stale_target_ttl=stale_target_ttl,
+            lock_admission=lock_admission,
         )
         package = make_package(
             spec.runtime, kernel, app, spec.n_processes, config=package_config
@@ -424,10 +465,23 @@ def run_scenario(
 
     apps: Dict[str, AppResult] = {}
     service: Dict[str, LatencyStats] = {}
+    lock_snapshots: Dict[str, LockStats] = {}
     for package in packages:
         lock_contended, lock_holder_preempted, lock_spin_time = (
             package.queue_lock_stats()
         )
+        app_lock_stats: List[LockStats] = []
+        for lock in package.app.locks():
+            snap = LockStats.from_lock(lock)
+            app_lock_stats.append(snap)
+            previous = lock_snapshots.get(snap.name)
+            lock_snapshots[snap.name] = (
+                snap if previous is None else previous.merged(snap)
+            )
+        queue = getattr(package, "queue", None)
+        if queue is not None and queue.lock.acquisitions:
+            qsnap = LockStats.from_lock(queue.lock)
+            lock_snapshots[qsnap.name] = qsnap
         tracker = package.adapter.tracker
         workers = kernel.processes_of_app(package.app_id)
         requests_completed = 0
@@ -437,6 +491,22 @@ def run_scenario(
             if stats is not None:
                 service[package.app_id] = stats
         apps[package.app_id] = AppResult(
+            lock_acquisitions=sum(s.acquisitions for s in app_lock_stats),
+            lock_contended=sum(
+                s.contended_acquisitions for s in app_lock_stats
+            ),
+            lock_holder_preempted=sum(
+                s.holder_preempted_encounters for s in app_lock_stats
+            ),
+            lock_wait_time=sum(s.total_wait_time for s in app_lock_stats),
+            lock_handoff_max=max(
+                (s.handoff_latency_max for s in app_lock_stats), default=0
+            ),
+            lock_waiters_peak=max(
+                (s.waiters_peak for s in app_lock_stats), default=0
+            ),
+            lock_passivations=sum(s.passivations for s in app_lock_stats),
+            lock_readmissions=sum(s.readmissions for s in app_lock_stats),
             requests_completed=requests_completed,
             runtime=package.runtime,
             adoptions=tracker.adoptions,
@@ -502,4 +572,5 @@ def run_scenario(
         watchdog_events=list(watchdog.events) if watchdog else [],
         service=service,
         service_tiers=tier_stats(service) if service else {},
+        locks=lock_snapshots,
     )

@@ -152,7 +152,19 @@ class Scenario:
             off even when the knob is set (so an experiment's
             unsupervised arm stays unsupervised under a CI-wide knob).
         watchdog: optional :class:`~repro.resilience.WatchdogConfig`
-            overriding the derived supervision timings.
+            overriding the derived supervision timings, or a mapping of
+            shard index to config for per-shard overrides.
+        lock_admission: Malthusian concurrency restriction applied to
+            every lock the run owns -- each application lock (via
+            ``Application.locks()``) and each package queue lock gets
+            ``admission=<n>`` unless the lock already sets its own.
+            Lock-level waiter control composes freely with ``control=``
+            processor control: either, both, or neither.  ``None`` (the
+            default) falls back to the ``REPRO_LOCK_ADMISSION``
+            environment knob and then leaves locks unrestricted; an
+            explicit ``0`` pins "unrestricted" even when the knob is set
+            (so a pinned baseline arm stays unrestricted under a
+            CI-wide knob).
     """
 
     apps: List[AppSpec]
@@ -174,6 +186,7 @@ class Scenario:
     stale_target_ttl: Optional[int] = None
     supervise: Optional[bool] = None
     watchdog: Optional[Any] = None
+    lock_admission: Optional[int] = None
 
     def with_(self, **overrides: Any) -> "Scenario":
         """A copy of this scenario with fields replaced (ablation helper)."""

@@ -50,6 +50,15 @@ class TestRegistry:
         ):
             make_policy("fair-share")
 
+    def test_unknown_kwarg_names_the_offender_and_the_accepted_set(self):
+        # A typo'd knob must fail as a clear ValueError naming the bad
+        # keyword, not a bare TypeError from deep inside a sweep cell.
+        with pytest.raises(ValueError, match="'weihgts'") as excinfo:
+            make_policy("weighted", weihgts={"a": 2.0})
+        assert "weights" in str(excinfo.value)
+        with pytest.raises(ValueError, match="'lag_grace'"):
+            make_policy("equal", lag_grace=5)
+
     def test_base_policy_is_abstract(self):
         with pytest.raises(NotImplementedError):
             AllocationPolicy().allocate(request())

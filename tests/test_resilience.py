@@ -401,6 +401,92 @@ class TestWatchdogEscalation:
         assert counters["restarts"] == 0
 
 
+class TestPerShardConfig:
+    def _plane_watchdog(self, config):
+        kernel = make_kernel(n_processors=4, quantum=units.ms(5))
+        from repro.core.plane import ControlPlane
+
+        plane = ControlPlane(kernel, shards=2, interval=units.ms(10))
+        return Watchdog(kernel, plane, config=config)
+
+    def test_mapping_resolves_each_shard_with_defaults_for_the_rest(self):
+        watchdog = self._plane_watchdog(
+            {1: WatchdogConfig(deadline=units.ms(15), max_restarts=0)}
+        )
+        assert watchdog.config_for(0).deadline == units.ms(30) + 2 * units.ms(5)
+        assert watchdog.config_for(0).max_restarts == 3
+        assert watchdog.config_for(1).deadline == units.ms(15)
+        assert watchdog.config_for(1).max_restarts == 0
+        # Back-compat alias: the first shard's resolved config.
+        assert watchdog.config is watchdog.config_for(0)
+
+    def test_tick_runs_at_the_fastest_per_shard_cadence(self):
+        watchdog = self._plane_watchdog(
+            {
+                0: WatchdogConfig(check_period=units.ms(2)),
+                1: WatchdogConfig(check_period=units.ms(8)),
+            }
+        )
+        assert watchdog.check_period == units.ms(2)
+        assert watchdog.config_for(1).check_period == units.ms(8)
+
+    def test_single_config_still_covers_every_shard(self):
+        watchdog = self._plane_watchdog(WatchdogConfig(max_restarts=1))
+        assert all(c.max_restarts == 1 for c in watchdog.configs)
+        assert watchdog.check_period == watchdog.config.check_period
+
+    def test_unknown_shard_index_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard"):
+            self._plane_watchdog({7: WatchdogConfig()})
+
+    def test_zero_budget_shard_fails_over_while_the_default_restarts(self):
+        # Shard 1 carries max_restarts=0: its first crash goes straight
+        # to failover.  Shard 0 keeps the default budget and recovers
+        # from its own crash via restart.  One watchdog, two policies.
+        result = run_scenario(
+            mini_scenario(shards=2).with_(
+                watchdog={1: WatchdogConfig(max_restarts=0)}
+            ),
+            sanitize="record",
+            faults="server-crash:shard=0,at=12ms;server-crash:shard=1,at=12ms",
+        )
+        counters = result.watchdog_counters
+        assert counters["failovers"] == 1
+        assert counters["restarts"] == 1
+        assert counters["degraded"] == 0
+        assert result.sanitizer_violations == 0
+        failovers = [
+            details
+            for _, kind, details in result.watchdog_events
+            if kind == "failover"
+        ]
+        assert [f["shard"] for f in failovers] == [1]
+        restarts = [
+            details
+            for _, kind, details in result.watchdog_events
+            if kind == "restart"
+        ]
+        assert [r["shard"] for r in restarts] == [0]
+        for app in result.apps.values():
+            assert app.finished_at is not None
+
+    def test_telemetry_guard_applies_only_where_configured(self):
+        # Only shard 0 arms policy_cold_ttl: the demand policy on shard 1
+        # must never be swapped, however cold its telemetry runs.
+        scenario = mini_scenario(shards=2).with_(
+            policy="demand",
+            watchdog={0: WatchdogConfig(policy_cold_ttl=units.ms(12))},
+        )
+        result = run_scenario(scenario, sanitize="record")
+        swaps = [
+            details
+            for _, kind, details in result.watchdog_events
+            if kind == "policy_swap"
+        ]
+        assert swaps, "the armed shard should have swapped at least once"
+        assert {s["shard"] for s in swaps} == {0}
+
+
 class TestBareServerSupervision:
     def test_watchdog_restarts_and_writes_off_a_bare_server(self):
         # No ControlPlane at all: the watchdog supervises one server
